@@ -1,0 +1,68 @@
+// Command msserve simulates the Section 4.1 dynamic-workload serving scheme:
+// queries arrive under a latency SLO T, batches form every T/2, and the
+// slice rate is chosen per batch from Equation 3 so that every query is
+// served in time. It prints the per-rate workload distribution and compares
+// against fixed-capacity provisioning.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"modelslicing/internal/serving"
+	"modelslicing/internal/slicing"
+)
+
+func main() {
+	windows := flag.Int("windows", 480, "number of T/2 scheduling windows")
+	base := flag.Float64("base", 40, "off-peak mean arrivals per window")
+	peak := flag.Float64("peak", 12, "peak-to-trough workload ratio")
+	burst := flag.Float64("burst", 0.03, "probability of a burst window")
+	slo := flag.Float64("slo", 100, "latency SLO T (time units)")
+	sample := flag.Float64("sample-time", 1, "full-model per-sample time t")
+	lb := flag.Float64("lb", 0.25, "slice-rate lower bound")
+	gran := flag.Int("granularity", 4, "slice granularity")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	cfg := serving.Config{
+		LatencySLO:     *slo,
+		FullSampleTime: *sample,
+		Rates:          slicing.NewRateList(*lb, *gran),
+		// Accuracy profile shaped like the paper's Table 4 slicing rows.
+		AccuracyAt: func(r float64) float64 { return 0.916 + 0.027*r },
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	arrivals := serving.DiurnalWorkload(*windows, *base, *peak, *burst, 1.5, rng)
+
+	elastic := serving.Simulate(cfg, arrivals)
+	fmt.Printf("workload: %d windows, peak %d / trough %d arrivals (%.1fx volatility)\n",
+		*windows, elastic.PeakArrivals, elastic.TroughArrivals, elastic.Volatility())
+	fmt.Printf("\nmodel slicing (elastic, Equation 3):\n")
+	report(elastic)
+
+	for _, r := range []float64{1.0, cfg.Rates.Min()} {
+		fixed := serving.FixedCapacityBaseline(cfg, r, arrivals)
+		fmt.Printf("\nfixed width %.4g:\n", r)
+		report(fixed)
+	}
+}
+
+func report(s serving.Stats) {
+	fmt.Printf("  processed %d queries, SLO violations %d (%.2f%%)\n",
+		s.Processed, s.SLOViolations, 100*float64(s.SLOViolations)/float64(s.Processed))
+	fmt.Printf("  utilization %.1f%%, mean slice rate %.3f, delivered accuracy %.2f%%\n",
+		100*s.Utilization, s.MeanRate, 100*s.WeightedAccuracy)
+	var rates []float64
+	for r := range s.RateHist {
+		rates = append(rates, r)
+	}
+	sort.Float64s(rates)
+	for _, r := range rates {
+		n := s.RateHist[r]
+		fmt.Printf("  rate %.4g served %6d queries (%.1f%%)\n",
+			r, n, 100*float64(n)/float64(s.Processed))
+	}
+}

@@ -1,0 +1,135 @@
+// Command mstrain trains a model with model slicing on the synthetic
+// CIFAR-like task (or the Markov corpus for -model nnlm), evaluates every
+// subnet, and optionally saves/loads binary checkpoints.
+//
+// Usage:
+//
+//	mstrain -model vgg -epochs 20 -lb 0.25 -granularity 4 -save vgg.ckpt
+//	mstrain -model vgg -load vgg.ckpt        # evaluate only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"modelslicing/internal/data"
+	"modelslicing/internal/models"
+	"modelslicing/internal/nn"
+	"modelslicing/internal/persist"
+	"modelslicing/internal/slicing"
+	"modelslicing/internal/train"
+)
+
+func main() {
+	model := flag.String("model", "vgg", "vgg|resnet|mlp|nnlm")
+	epochs := flag.Int("epochs", 20, "training epochs (0 with -load to evaluate only)")
+	lb := flag.Float64("lb", 0.25, "slice-rate lower bound")
+	gran := flag.Int("granularity", 4, "slice granularity (rates in steps of 1/g)")
+	lr := flag.Float64("lr", 0.03, "learning rate")
+	seed := flag.Int64("seed", 1, "random seed")
+	trainN := flag.Int("train", 800, "training samples (or tokens×25 for nnlm)")
+	savePath := flag.String("save", "", "write checkpoint after training")
+	loadPath := flag.String("load", "", "read checkpoint before training/eval")
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	rates := slicing.NewRateList(*lb, *gran)
+
+	var (
+		net     nn.Layer
+		batches func() []train.Batch
+		test    []train.Batch
+		clip    float64
+	)
+	switch *model {
+	case "vgg", "resnet", "mlp":
+		cfg := data.CIFARLike(*trainN, *trainN/2)
+		cfg.Noise, cfg.SharedWeight = 0.4, 0.35
+		d := data.GenerateImages(cfg)
+		switch *model {
+		case "vgg":
+			net, _ = models.NewVGG(models.VGG13Mini(*gran, models.NormGroup, len(rates)), rng)
+		case "resnet":
+			net, _ = models.NewResNet(models.ResNetMini(*gran, models.NormGroup, len(rates)), rng)
+		default:
+			net = models.NewMLP(cfg.Channels*cfg.H*cfg.W, []int{64, 64}, cfg.Classes, *gran, rng)
+		}
+		flatten := *model == "mlp"
+		batches = func() []train.Batch { return imageBatches(d, flatten, rng, true) }
+		test = imageBatches(d, flatten, rng, false)
+	case "nnlm":
+		txt := data.GenerateText(data.PTBLike(*trainN*25, *trainN*5))
+		net = models.NewNNLM(models.NNLMMini(txt.Cfg.Vocab, *gran), rng)
+		lm := data.LMBatches(txt.Train, 16, 16)
+		batches = func() []train.Batch { return lm }
+		test = data.LMBatches(txt.Test, 16, 16)
+		clip = 5
+	default:
+		fmt.Fprintf(os.Stderr, "mstrain: unknown model %q\n", *model)
+		os.Exit(2)
+	}
+
+	if *loadPath != "" {
+		if err := persist.Load(*loadPath, net.Params()); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("loaded checkpoint %s\n", *loadPath)
+	}
+
+	if *epochs > 0 {
+		opt := train.NewSGD(*lr, 0.9, 1e-4)
+		sched := train.NewStepDecay(*lr, 10, train.MilestonesAt(*epochs, 0.6, 0.85)...)
+		tr := slicing.NewTrainer(net, rates, slicing.NewRMinMax(rates), opt, rng)
+		tr.ClipNorm = clip
+		start := time.Now()
+		for e := 0; e < *epochs; e++ {
+			opt.LR = sched.LR(e)
+			loss := tr.Epoch(batches())
+			fmt.Printf("epoch %2d  lr %.4f  loss %.4f\n", e, opt.LR, loss)
+		}
+		fmt.Printf("trained %d epochs in %.1fs\n", *epochs, time.Since(start).Seconds())
+	}
+
+	fmt.Println("subnet evaluation:")
+	for i, r := range rates {
+		res := train.Evaluate(net, r, i, test)
+		if *model == "nnlm" {
+			fmt.Printf("  r=%.4g  ppl %.2f\n", r, res.Perplexity())
+		} else {
+			fmt.Printf("  r=%.4g  acc %.2f%%\n", r, 100*res.Accuracy)
+		}
+	}
+
+	if *savePath != "" {
+		if err := persist.Save(*savePath, net.Params()); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("saved checkpoint %s\n", *savePath)
+	}
+}
+
+// imageBatches adapts the image dataset, flattening inputs for MLPs.
+func imageBatches(d *data.Images, flatten bool, rng *rand.Rand, trainSet bool) []train.Batch {
+	var bs []train.Batch
+	if trainSet {
+		bs = d.TrainBatches(32, false, rng)
+	} else {
+		bs = d.TestBatches(64)
+	}
+	if !flatten {
+		return bs
+	}
+	out := make([]train.Batch, len(bs))
+	for i, b := range bs {
+		out[i] = train.Batch{
+			X:      b.X.Reshape(b.X.Dim(0), b.X.Size()/b.X.Dim(0)),
+			Labels: b.Labels,
+		}
+	}
+	return out
+}

@@ -1,0 +1,47 @@
+package modelslicing_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	ms "modelslicing"
+	"modelslicing/internal/models"
+)
+
+// ExampleBudgetRate shows Equation 3: resolving a runtime computation
+// budget to the largest deployable slice rate.
+func ExampleBudgetRate() {
+	rates := ms.NewRateList(0.25, 4)
+	fullCost := 1000.0
+	for _, budget := range []float64{1000, 500, 250, 60, 10} {
+		fmt.Printf("budget %4.0f -> rate %.2f\n", budget, ms.BudgetRate(rates, budget, fullCost))
+	}
+	// Output:
+	// budget 1000 -> rate 1.00
+	// budget  500 -> rate 0.50
+	// budget  250 -> rate 0.50
+	// budget   60 -> rate 0.25
+	// budget   10 -> rate 0.25
+}
+
+// ExampleMeasureCost shows the quadratic cost law on a sliced MLP.
+func ExampleMeasureCost() {
+	rng := rand.New(rand.NewSource(1))
+	model := models.NewMLP(16, []int{64, 64}, 4, 4, rng)
+	full := ms.MeasureCost(model, []int{16}, 1)
+	half := ms.MeasureCost(model, []int{16}, 0.5)
+	// The interior 64×64 layer shrinks 4×; the unsliced input and output
+	// dims keep the total a little above the ideal 25%.
+	fmt.Printf("params shrink to %.0f%%\n", 100*float64(half.Params)/float64(full.Params))
+	// Output:
+	// params shrink to 31%
+}
+
+// ExampleNewRateList shows the paper's slice-rate grids.
+func ExampleNewRateList() {
+	fmt.Println(ms.NewRateList(0.25, 4))
+	fmt.Println(ms.NewRateList(0.375, 8))
+	// Output:
+	// [0.25 0.5 0.75 1]
+	// [0.375 0.5 0.625 0.75 0.875 1]
+}

@@ -1,0 +1,74 @@
+// Quickstart: train one MLP with model slicing, then serve it at four cost
+// points and deploy an extracted subnet — the 60-second tour of the API.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	ms "modelslicing"
+	"modelslicing/internal/models"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(1))
+
+	// A toy 3-class task: class c lights up every (j%3==c) feature.
+	makeBatches := func(n int) []ms.Batch {
+		var batches []ms.Batch
+		for start := 0; start < n; start += 16 {
+			x := ms.NewTensor(16, 12)
+			labels := make([]int, 16)
+			for i := 0; i < 16; i++ {
+				c := rng.Intn(3)
+				labels[i] = c
+				for j := 0; j < 12; j++ {
+					v := rng.NormFloat64() * 0.7
+					if j%3 == c {
+						v += 2
+					}
+					x.Set(v, i, j)
+				}
+			}
+			batches = append(batches, ms.Batch{X: x, Labels: labels})
+		}
+		return batches
+	}
+
+	// 1. Build a slicing-ready model: hidden layers divided into 4 groups.
+	rates := ms.NewRateList(0.25, 4) // rates 0.25, 0.5, 0.75, 1.0
+	model := models.NewMLP(12, []int{32, 32}, 3, 4, rng)
+
+	// 2. Train with Algorithm 1: the scheduler pins the base and full
+	// network and samples one intermediate subnet per step.
+	trainer := ms.NewTrainer(model, rates, ms.NewRMinMax(rates), ms.NewSGD(0.1, 0.9, 1e-4), rng)
+	trainData := makeBatches(480)
+	for epoch := 0; epoch < 12; epoch++ {
+		loss := trainer.Epoch(trainData)
+		if epoch%4 == 0 {
+			fmt.Printf("epoch %2d  mean subnet loss %.4f\n", epoch, loss)
+		}
+	}
+
+	// 3. One model, four cost points.
+	test := makeBatches(160)
+	full := ms.MeasureCost(model, []int{12}, 1)
+	fmt.Println("\nrate   MACs    params  accuracy")
+	for _, r := range rates {
+		p := ms.MeasureCost(model, []int{12}, r)
+		res := ms.Evaluate(model, rates, r, test)
+		fmt.Printf("%.2f  %6d  %6d  %6.2f%%\n", r, p.MACs, p.Params, 100*res.Accuracy)
+	}
+
+	// 4. Resolve a runtime budget to a rate (Equation 3) and predict.
+	budget := float64(full.MACs) / 4
+	r := ms.BudgetRate(rates, budget, float64(full.MACs))
+	fmt.Printf("\nbudget %.0f MACs -> slice rate %.2f\n", budget, r)
+	logits := ms.Predict(model, rates, r, test[0].X)
+	fmt.Printf("first prediction at that rate: class %d\n", logits.ArgMaxRow(0))
+
+	// 5. Deploy: extract a standalone subnet with the small footprint.
+	sub := ms.Extract(model, 0.25, rates)
+	sp := ms.MeasureCost(sub, []int{12}, 1)
+	fmt.Printf("\nextracted r=0.25 subnet: %d params (full model: %d)\n", sp.Params, full.Params)
+}

@@ -1,0 +1,94 @@
+package cascade
+
+import (
+	"math"
+	"testing"
+
+	"modelslicing/internal/tensor"
+	"modelslicing/internal/train"
+)
+
+// fixedPredictor returns a Predict function driven by a lookup table.
+func fixedPredictor(preds []int) func(train.Batch) []int {
+	pos := 0
+	return func(b train.Batch) []int {
+		out := preds[pos : pos+len(b.Labels)]
+		pos += len(b.Labels)
+		return out
+	}
+}
+
+func itemBatches(labels []int) []train.Batch {
+	x := tensor.New(len(labels), 1)
+	return []train.Batch{{X: x, Labels: labels}}
+}
+
+func TestRunPrecisionAndAggregateRecall(t *testing.T) {
+	// 4 items with true labels 0,1,2,3.
+	items := itemBatches([]int{0, 1, 2, 3})
+	// Stage 1 gets items 0-2 right; stage 2 gets items 1-3 right.
+	stages := []Stage{
+		{Name: "s1", Width: 0.5, Params: 10, MACs: 100,
+			Predict: fixedPredictor([]int{0, 1, 2, 9})},
+		{Name: "s2", Width: 1.0, Params: 40, MACs: 400,
+			Predict: fixedPredictor([]int{9, 1, 2, 3})},
+	}
+	res := Run(stages, items, false)
+	if math.Abs(res.Stages[0].Precision-0.75) > 1e-12 {
+		t.Fatalf("stage 1 precision %v", res.Stages[0].Precision)
+	}
+	if math.Abs(res.Stages[0].AggRecall-0.75) > 1e-12 {
+		t.Fatal("stage 1 aggregate recall must equal its precision")
+	}
+	if math.Abs(res.Stages[1].Precision-0.75) > 1e-12 {
+		t.Fatalf("stage 2 precision %v", res.Stages[1].Precision)
+	}
+	// Only items 1 and 2 are correct at both stages.
+	if math.Abs(res.FinalRecall()-0.5) > 1e-12 {
+		t.Fatalf("final recall %v, want 0.5", res.FinalRecall())
+	}
+	if res.TotalParams != 50 || res.TotalMACs != 500 {
+		t.Fatalf("totals %d params %d MACs", res.TotalParams, res.TotalMACs)
+	}
+}
+
+func TestRunSharedParamsTakesMax(t *testing.T) {
+	items := itemBatches([]int{0, 1})
+	stages := []Stage{
+		{Name: "a", Params: 10, MACs: 1, Predict: fixedPredictor([]int{0, 1})},
+		{Name: "b", Params: 40, MACs: 4, Predict: fixedPredictor([]int{0, 1})},
+	}
+	res := Run(stages, items, true)
+	if res.TotalParams != 40 {
+		t.Fatalf("shared params %d, want max member 40", res.TotalParams)
+	}
+	if res.FinalRecall() != 1.0 {
+		t.Fatalf("perfectly consistent cascade recall %v", res.FinalRecall())
+	}
+}
+
+// Consistent-but-weaker stages can beat inconsistent stronger ones — the
+// phenomenon that motivates the slicing cascade (Section 4.2's mis-drop
+// example).
+func TestConsistencyBeatsRawPrecision(t *testing.T) {
+	items := itemBatches([]int{0, 0, 0, 0, 0, 0, 0, 0})
+	// Inconsistent cascade: each stage 75% precision but errors disjoint.
+	inconsistent := []Stage{
+		{Name: "i1", Predict: fixedPredictor([]int{1, 1, 0, 0, 0, 0, 0, 0})},
+		{Name: "i2", Predict: fixedPredictor([]int{0, 0, 1, 1, 0, 0, 0, 0})},
+	}
+	// Consistent cascade: same 75% precision, overlapping errors.
+	consistent := []Stage{
+		{Name: "c1", Predict: fixedPredictor([]int{1, 1, 0, 0, 0, 0, 0, 0})},
+		{Name: "c2", Predict: fixedPredictor([]int{1, 1, 0, 0, 0, 0, 0, 0})},
+	}
+	ri := Run(inconsistent, items, false)
+	rc := Run(consistent, items, false)
+	if ri.Stages[0].Precision != rc.Stages[0].Precision {
+		t.Fatal("setup error: precisions should match")
+	}
+	if rc.FinalRecall() <= ri.FinalRecall() {
+		t.Fatalf("consistent cascade recall %v must beat inconsistent %v",
+			rc.FinalRecall(), ri.FinalRecall())
+	}
+}

@@ -1,0 +1,202 @@
+package data
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestGenerateImagesDeterministic(t *testing.T) {
+	cfg := CIFARLike(40, 20)
+	a := GenerateImages(cfg)
+	b := GenerateImages(cfg)
+	for i := range a.TrainX {
+		for j := range a.TrainX[i].Data {
+			if a.TrainX[i].Data[j] != b.TrainX[i].Data[j] {
+				t.Fatal("same seed must generate identical data")
+			}
+		}
+		if a.TrainY[i] != b.TrainY[i] {
+			t.Fatal("labels must be deterministic")
+		}
+	}
+}
+
+func TestGenerateImagesShapesAndBalance(t *testing.T) {
+	cfg := CIFARLike(100, 50)
+	d := GenerateImages(cfg)
+	if len(d.TrainX) != 100 || len(d.TestX) != 50 {
+		t.Fatalf("split sizes %d/%d", len(d.TrainX), len(d.TestX))
+	}
+	counts := make([]int, cfg.Classes)
+	for _, y := range d.TrainY {
+		counts[y]++
+	}
+	for c, n := range counts {
+		if n != 10 {
+			t.Fatalf("class %d has %d samples, want 10 (balanced)", c, n)
+		}
+	}
+	x := d.TrainX[0]
+	if x.Dim(0) != 3 || x.Dim(1) != 16 || x.Dim(2) != 16 {
+		t.Fatalf("image shape %v", x.Shape)
+	}
+}
+
+// The generated task must carry class signal: a nearest-class-mean
+// classifier on the noiseless prototypes should beat chance comfortably.
+func TestImagesHaveClassSignal(t *testing.T) {
+	cfg := CIFARLike(200, 200)
+	d := GenerateImages(cfg)
+	correct := 0
+	for i, x := range d.TestX {
+		best, bestDot := -1, math.Inf(-1)
+		for c := 0; c < cfg.Classes; c++ {
+			for m := 0; m < cfg.Modes; m++ {
+				dot := 0.0
+				p := d.protos[c][m]
+				for j := range p.Data {
+					dot += p.Data[j] * x.Data[j]
+				}
+				if dot > bestDot {
+					bestDot, best = dot, c
+				}
+			}
+		}
+		if best == d.TestY[i] {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(len(d.TestX))
+	if acc < 0.4 {
+		t.Fatalf("prototype-matching accuracy %.3f, want ≥0.4 (task must be learnable)", acc)
+	}
+	if acc > 0.999 {
+		t.Fatalf("prototype-matching accuracy %.3f — task too easy to differentiate widths", acc)
+	}
+}
+
+func TestTrainBatchesCoverAllSamplesOnce(t *testing.T) {
+	cfg := CIFARLike(50, 10)
+	d := GenerateImages(cfg)
+	rng := rand.New(rand.NewSource(1))
+	batches := d.TrainBatches(16, false, rng)
+	total := 0
+	for _, b := range batches {
+		total += len(b.Labels)
+		if b.X.Dim(0) != len(b.Labels) {
+			t.Fatal("batch size mismatch between X and labels")
+		}
+	}
+	if total != 50 {
+		t.Fatalf("epoch covered %d samples, want 50", total)
+	}
+}
+
+func TestAugmentationPreservesShapeChangesPixels(t *testing.T) {
+	cfg := CIFARLike(30, 10)
+	d := GenerateImages(cfg)
+	rng := rand.New(rand.NewSource(2))
+	plain := d.TrainBatches(30, false, rand.New(rand.NewSource(3)))
+	aug := d.TrainBatches(30, true, rand.New(rand.NewSource(3)))
+	if !plain[0].X.SameShape(aug[0].X) {
+		t.Fatal("augmentation must preserve shape")
+	}
+	diff := 0
+	for i := range plain[0].X.Data {
+		if plain[0].X.Data[i] != aug[0].X.Data[i] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("augmentation changed nothing")
+	}
+	_ = rng
+}
+
+func TestTestBatchesDeterministic(t *testing.T) {
+	cfg := CIFARLike(20, 20)
+	d := GenerateImages(cfg)
+	a := d.TestBatches(8)
+	b := d.TestBatches(8)
+	if len(a) != 3 {
+		t.Fatalf("expected 3 batches of ≤8 over 20 samples, got %d", len(a))
+	}
+	for i := range a {
+		for j := range a[i].X.Data {
+			if a[i].X.Data[j] != b[i].X.Data[j] {
+				t.Fatal("test batches must be deterministic")
+			}
+		}
+	}
+}
+
+func TestGenerateTextDeterministicAndInVocab(t *testing.T) {
+	cfg := PTBLike(2000, 500)
+	a := GenerateText(cfg)
+	b := GenerateText(cfg)
+	for i := range a.Train {
+		if a.Train[i] != b.Train[i] {
+			t.Fatal("same seed must generate identical corpus")
+		}
+		if a.Train[i] < 0 || a.Train[i] >= cfg.Vocab {
+			t.Fatal("token out of vocabulary")
+		}
+	}
+	if len(a.Train) != 2000 || len(a.Test) != 500 {
+		t.Fatalf("corpus sizes %d/%d", len(a.Train), len(a.Test))
+	}
+}
+
+func TestTextHasPredictableStructure(t *testing.T) {
+	cfg := PTBLike(20000, 1000)
+	txt := GenerateText(cfg)
+	floor := txt.EntropyFloorEstimate()
+	uniform := math.Log(float64(cfg.Vocab))
+	if floor >= uniform*0.8 {
+		t.Fatalf("bigram entropy %.3f too close to uniform %.3f — corpus must be predictable", floor, uniform)
+	}
+	if floor <= 0.5 {
+		t.Fatalf("bigram entropy %.3f too low — corpus must not be trivial", floor)
+	}
+}
+
+func TestLMBatchesLayout(t *testing.T) {
+	stream := make([]int, 101)
+	for i := range stream {
+		stream[i] = i % 7
+	}
+	batches := LMBatches(stream, 5, 4)
+	// perStream = 100/4 = 25 → 5 windows of 5.
+	if len(batches) != 5 {
+		t.Fatalf("got %d batches, want 5", len(batches))
+	}
+	b0 := batches[0]
+	if b0.X.Dim(0) != 5 || b0.X.Dim(1) != 4 {
+		t.Fatalf("X shape %v", b0.X.Shape)
+	}
+	if len(b0.Labels) != 20 {
+		t.Fatalf("labels %d, want 20", len(b0.Labels))
+	}
+	// Check alignment: input at (t,b) is stream[b*25+t]; label is the next.
+	for tt := 0; tt < 5; tt++ {
+		for bb := 0; bb < 4; bb++ {
+			pos := bb*25 + tt
+			if int(b0.X.At(tt, bb)) != stream[pos] {
+				t.Fatalf("input misaligned at (%d,%d)", tt, bb)
+			}
+			if b0.Labels[tt*4+bb] != stream[pos+1] {
+				t.Fatalf("label misaligned at (%d,%d)", tt, bb)
+			}
+		}
+	}
+}
+
+func TestLMBatchesPanicsWhenTooShort(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	LMBatches(make([]int, 10), 20, 4)
+}

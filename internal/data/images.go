@@ -1,0 +1,236 @@
+// Package data provides the deterministic synthetic datasets that stand in
+// for CIFAR-10, ImageNet-12 and Penn Tree Bank in this reproduction (see
+// DESIGN.md §2 for the substitution rationale). Both generators produce
+// tasks whose achievable accuracy grows with model capacity, which is the
+// property the paper's relative comparisons depend on.
+package data
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"modelslicing/internal/tensor"
+	"modelslicing/internal/train"
+)
+
+// ImageConfig parameterizes the synthetic image-classification task.
+type ImageConfig struct {
+	Classes  int
+	Channels int
+	H, W     int
+	// Modes is the number of distinct prototypes per class (intra-class
+	// variation; wider models separate modes better).
+	Modes int
+	// Noise is the additive per-pixel Gaussian noise std.
+	Noise float64
+	// SharedWeight blends a class-independent background into every image,
+	// making classes overlap (harder task).
+	SharedWeight float64
+	TrainN       int
+	TestN        int
+	Seed         int64
+}
+
+// CIFARLike returns the configuration used as the CIFAR-10 stand-in.
+func CIFARLike(trainN, testN int) ImageConfig {
+	return ImageConfig{
+		Classes: 10, Channels: 3, H: 16, W: 16, Modes: 3,
+		Noise: 0.65, SharedWeight: 0.6,
+		TrainN: trainN, TestN: testN, Seed: 1009,
+	}
+}
+
+// ImageNetLike returns the configuration used as the ImageNet-12 stand-in:
+// more classes, larger images, more modes.
+func ImageNetLike(trainN, testN int) ImageConfig {
+	return ImageConfig{
+		Classes: 20, Channels: 3, H: 24, W: 24, Modes: 4,
+		Noise: 0.7, SharedWeight: 0.6,
+		TrainN: trainN, TestN: testN, Seed: 2003,
+	}
+}
+
+// Images is a generated dataset with a fixed train/test split.
+type Images struct {
+	Cfg    ImageConfig
+	TrainX []*tensor.Tensor // each [C, H, W]
+	TrainY []int
+	TestX  []*tensor.Tensor
+	TestY  []int
+
+	protos [][]*tensor.Tensor // [class][mode]
+	shared *tensor.Tensor
+}
+
+// GenerateImages builds the dataset deterministically from cfg.Seed.
+//
+// Each class owns Modes smooth prototype patterns (mixtures of low-frequency
+// sinusoids and localized blobs); a sample is a randomly shifted, intensity-
+// jittered prototype blended with a shared background plus pixel noise.
+func GenerateImages(cfg ImageConfig) *Images {
+	if cfg.Classes <= 1 || cfg.Channels <= 0 || cfg.H <= 0 || cfg.W <= 0 {
+		panic(fmt.Sprintf("data: invalid image config %+v", cfg))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	d := &Images{Cfg: cfg}
+	d.shared = d.makePattern(rng)
+	d.protos = make([][]*tensor.Tensor, cfg.Classes)
+	for c := 0; c < cfg.Classes; c++ {
+		d.protos[c] = make([]*tensor.Tensor, cfg.Modes)
+		for m := 0; m < cfg.Modes; m++ {
+			d.protos[c][m] = d.makePattern(rng)
+		}
+	}
+	d.TrainX, d.TrainY = d.sampleSet(cfg.TrainN, rng)
+	d.TestX, d.TestY = d.sampleSet(cfg.TestN, rng)
+	return d
+}
+
+// makePattern creates one smooth multi-channel pattern.
+func (d *Images) makePattern(rng *rand.Rand) *tensor.Tensor {
+	c, h, w := d.Cfg.Channels, d.Cfg.H, d.Cfg.W
+	p := tensor.New(c, h, w)
+	for ch := 0; ch < c; ch++ {
+		// Low-frequency sinusoid mixture.
+		nWaves := 2 + rng.Intn(3)
+		type wave struct{ fx, fy, phase, amp float64 }
+		waves := make([]wave, nWaves)
+		for i := range waves {
+			waves[i] = wave{
+				fx:    (rng.Float64()*2 + 0.5) * 2 * math.Pi / float64(w),
+				fy:    (rng.Float64()*2 + 0.5) * 2 * math.Pi / float64(h),
+				phase: rng.Float64() * 2 * math.Pi,
+				amp:   0.5 + rng.Float64(),
+			}
+		}
+		// Localized blob.
+		bx, by := rng.Float64()*float64(w), rng.Float64()*float64(h)
+		bs := 1.5 + rng.Float64()*2.5
+		bAmp := 1 + rng.Float64()
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				v := 0.0
+				for _, wv := range waves {
+					v += wv.amp * math.Sin(wv.fx*float64(x)+wv.fy*float64(y)+wv.phase)
+				}
+				dx, dy := float64(x)-bx, float64(y)-by
+				v += bAmp * math.Exp(-(dx*dx+dy*dy)/(2*bs*bs))
+				p.Set(v, ch, y, x)
+			}
+		}
+	}
+	// Standardize the pattern.
+	mu := p.Mean()
+	for i := range p.Data {
+		p.Data[i] -= mu
+	}
+	std := p.L2Norm() / math.Sqrt(float64(p.Size()))
+	if std > 0 {
+		p.Scale(1 / std)
+	}
+	return p
+}
+
+func (d *Images) sampleSet(n int, rng *rand.Rand) ([]*tensor.Tensor, []int) {
+	xs := make([]*tensor.Tensor, n)
+	ys := make([]int, n)
+	for i := 0; i < n; i++ {
+		c := i % d.Cfg.Classes // balanced classes
+		ys[i] = c
+		xs[i] = d.sampleOne(c, rng)
+	}
+	return xs, ys
+}
+
+// sampleOne draws one image of the given class.
+func (d *Images) sampleOne(class int, rng *rand.Rand) *tensor.Tensor {
+	cfg := d.Cfg
+	proto := d.protos[class][rng.Intn(cfg.Modes)]
+	img := tensor.New(cfg.Channels, cfg.H, cfg.W)
+	// Random small translation (cyclic) and intensity jitter.
+	dx, dy := rng.Intn(5)-2, rng.Intn(5)-2
+	gain := 0.8 + rng.Float64()*0.4
+	for ch := 0; ch < cfg.Channels; ch++ {
+		for y := 0; y < cfg.H; y++ {
+			for x := 0; x < cfg.W; x++ {
+				sy := ((y+dy)%cfg.H + cfg.H) % cfg.H
+				sx := ((x+dx)%cfg.W + cfg.W) % cfg.W
+				v := gain*proto.At(ch, sy, sx) + cfg.SharedWeight*d.shared.At(ch, y, x)
+				img.Set(v+rng.NormFloat64()*cfg.Noise, ch, y, x)
+			}
+		}
+	}
+	return img
+}
+
+// TrainBatches returns a freshly shuffled (and optionally augmented) list of
+// training batches; call once per epoch for a new augmentation draw.
+// Augmentation is the paper's CIFAR recipe scaled down: zero-pad by 2,
+// random crop back, random horizontal flip.
+func (d *Images) TrainBatches(batchSize int, augment bool, rng *rand.Rand) []train.Batch {
+	idx := rng.Perm(len(d.TrainX))
+	return d.makeBatches(d.TrainX, d.TrainY, idx, batchSize, augment, rng)
+}
+
+// TestBatches returns the evaluation batches in deterministic order.
+func (d *Images) TestBatches(batchSize int) []train.Batch {
+	idx := make([]int, len(d.TestX))
+	for i := range idx {
+		idx[i] = i
+	}
+	return d.makeBatches(d.TestX, d.TestY, idx, batchSize, false, nil)
+}
+
+func (d *Images) makeBatches(xs []*tensor.Tensor, ys []int, idx []int, bs int, augment bool, rng *rand.Rand) []train.Batch {
+	if bs <= 0 {
+		panic("data: batch size must be positive")
+	}
+	cfg := d.Cfg
+	var batches []train.Batch
+	for start := 0; start < len(idx); start += bs {
+		end := start + bs
+		if end > len(idx) {
+			end = len(idx)
+		}
+		n := end - start
+		x := tensor.New(n, cfg.Channels, cfg.H, cfg.W)
+		labels := make([]int, n)
+		for i := 0; i < n; i++ {
+			src := xs[idx[start+i]]
+			labels[i] = ys[idx[start+i]]
+			dst := x.Data[i*src.Size() : (i+1)*src.Size()]
+			if augment {
+				augmentInto(dst, src, cfg, rng)
+			} else {
+				copy(dst, src.Data)
+			}
+		}
+		batches = append(batches, train.Batch{X: x, Labels: labels})
+	}
+	return batches
+}
+
+// augmentInto applies pad-2/random-crop and horizontal flip.
+func augmentInto(dst []float64, src *tensor.Tensor, cfg ImageConfig, rng *rand.Rand) {
+	const pad = 2
+	oy := rng.Intn(2*pad+1) - pad
+	ox := rng.Intn(2*pad+1) - pad
+	flip := rng.Intn(2) == 1
+	for ch := 0; ch < cfg.Channels; ch++ {
+		for y := 0; y < cfg.H; y++ {
+			for x := 0; x < cfg.W; x++ {
+				sx := x
+				if flip {
+					sx = cfg.W - 1 - x
+				}
+				sy, sxx := y+oy, sx+ox
+				v := 0.0
+				if sy >= 0 && sy < cfg.H && sxx >= 0 && sxx < cfg.W {
+					v = src.At(ch, sy, sxx)
+				}
+				dst[(ch*cfg.H+y)*cfg.W+x] = v
+			}
+		}
+	}
+}

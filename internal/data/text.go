@@ -1,0 +1,174 @@
+package data
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"modelslicing/internal/tensor"
+	"modelslicing/internal/train"
+)
+
+// TextConfig parameterizes the synthetic language-modeling corpus that
+// stands in for Penn Tree Bank: a hidden-Markov source whose emission
+// structure gives larger models a measurable perplexity advantage while
+// keeping a known entropy floor.
+type TextConfig struct {
+	Vocab int
+	// States is the number of latent states of the generator.
+	States int
+	// Branch is the number of successor states reachable from each state
+	// (smaller = more predictable transitions).
+	Branch int
+	// EmitTopK is the size of each state's preferred vocabulary subset.
+	EmitTopK int
+	// EmitSkew concentrates emission mass on the preferred subset (0..1).
+	EmitSkew float64
+	TrainLen int
+	TestLen  int
+	Seed     int64
+}
+
+// PTBLike returns the Penn-Tree-Bank stand-in configuration.
+func PTBLike(trainLen, testLen int) TextConfig {
+	return TextConfig{
+		Vocab: 300, States: 24, Branch: 3, EmitTopK: 12, EmitSkew: 0.9,
+		TrainLen: trainLen, TestLen: testLen, Seed: 4001,
+	}
+}
+
+// Text is a generated corpus with train/test token streams.
+type Text struct {
+	Cfg   TextConfig
+	Train []int
+	Test  []int
+}
+
+// GenerateText builds the corpus deterministically from cfg.Seed.
+func GenerateText(cfg TextConfig) *Text {
+	if cfg.Vocab <= 1 || cfg.States <= 1 || cfg.Branch < 1 || cfg.EmitTopK < 1 {
+		panic(fmt.Sprintf("data: invalid text config %+v", cfg))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// State transition graph: each state moves to one of Branch successors
+	// with skewed probabilities.
+	succ := make([][]int, cfg.States)
+	succP := make([][]float64, cfg.States)
+	for s := range succ {
+		succ[s] = make([]int, cfg.Branch)
+		succP[s] = make([]float64, cfg.Branch)
+		total := 0.0
+		for b := 0; b < cfg.Branch; b++ {
+			succ[s][b] = rng.Intn(cfg.States)
+			w := math.Pow(2, -float64(b)) // geometric preference
+			succP[s][b] = w
+			total += w
+		}
+		for b := range succP[s] {
+			succP[s][b] /= total
+		}
+	}
+	// Emission: each state prefers a vocab subset; within the subset the
+	// distribution is Zipf-like, with (1-EmitSkew) mass spread uniformly.
+	emit := make([][]int, cfg.States)
+	for s := range emit {
+		emit[s] = rng.Perm(cfg.Vocab)[:cfg.EmitTopK]
+	}
+
+	gen := func(n int) []int {
+		out := make([]int, n)
+		state := 0
+		for i := 0; i < n; i++ {
+			if rng.Float64() < cfg.EmitSkew {
+				// Zipf-ish over the state's preferred subset.
+				k := zipfIndex(rng, cfg.EmitTopK)
+				out[i] = emit[state][k]
+			} else {
+				out[i] = rng.Intn(cfg.Vocab)
+			}
+			state = pick(rng, succ[state], succP[state])
+		}
+		return out
+	}
+	return &Text{Cfg: cfg, Train: gen(cfg.TrainLen), Test: gen(cfg.TestLen)}
+}
+
+func zipfIndex(rng *rand.Rand, k int) int {
+	// Discrete distribution p(i) ∝ 1/(i+1).
+	total := 0.0
+	for i := 0; i < k; i++ {
+		total += 1 / float64(i+1)
+	}
+	u := rng.Float64() * total
+	acc := 0.0
+	for i := 0; i < k; i++ {
+		acc += 1 / float64(i+1)
+		if u < acc {
+			return i
+		}
+	}
+	return k - 1
+}
+
+func pick(rng *rand.Rand, items []int, probs []float64) int {
+	u := rng.Float64()
+	acc := 0.0
+	for i, p := range probs {
+		acc += p
+		if u < acc {
+			return items[i]
+		}
+	}
+	return items[len(items)-1]
+}
+
+// LMBatches converts a token stream into truncated-BPTT batches: the stream
+// is folded into batchSize parallel sub-streams and cut into windows of
+// seqLen steps. Batch.X is the [T, B] input tensor of token ids; Labels are
+// the next-token targets flattened in [t][b] row order, matching the rows of
+// a TimeFlatten→Dense decoder head.
+func LMBatches(stream []int, seqLen, batchSize int) []train.Batch {
+	if seqLen <= 0 || batchSize <= 0 {
+		panic("data: seqLen and batchSize must be positive")
+	}
+	perStream := (len(stream) - 1) / batchSize
+	if perStream < seqLen {
+		panic(fmt.Sprintf("data: stream of %d tokens too short for %d×%d batches",
+			len(stream), seqLen, batchSize))
+	}
+	var batches []train.Batch
+	for start := 0; start+seqLen <= perStream; start += seqLen {
+		x := tensor.New(seqLen, batchSize)
+		labels := make([]int, seqLen*batchSize)
+		for t := 0; t < seqLen; t++ {
+			for b := 0; b < batchSize; b++ {
+				pos := b*perStream + start + t
+				x.Set(float64(stream[pos]), t, b)
+				labels[t*batchSize+b] = stream[pos+1]
+			}
+		}
+		batches = append(batches, train.Batch{X: x, Labels: labels})
+	}
+	return batches
+}
+
+// EntropyFloorEstimate estimates the per-token entropy (nats) of the corpus
+// under a bigram model — a lower-bound reference for achievable perplexity
+// reported alongside Table 2 results.
+func (t *Text) EntropyFloorEstimate() float64 {
+	counts := make(map[[2]int]int)
+	uni := make(map[int]int)
+	for i := 0; i+1 < len(t.Train); i++ {
+		counts[[2]int{t.Train[i], t.Train[i+1]}]++
+		uni[t.Train[i]]++
+	}
+	h := 0.0
+	n := float64(len(t.Train) - 1)
+	for k, c := range counts {
+		pJoint := float64(c) / n
+		pCond := float64(c) / float64(uni[k[0]])
+		h -= pJoint * math.Log(pCond)
+	}
+	return h
+}

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner executes one experiment and renders its result.
+type Runner func(scale Scale, seed int64) string
+
+// registry maps experiment ids (figure/table numbers) to runners.
+var registry = map[string]Runner{
+	"fig2":   func(s Scale, seed int64) string { return Fig2(s, seed).Render() },
+	"table1": func(s Scale, seed int64) string { return Table1(s, seed).Render() },
+	"fig3":   func(s Scale, seed int64) string { return Fig3(s, seed).Render() },
+	"fig4":   func(s Scale, seed int64) string { return Fig4Table2(s, seed).Render() },
+	"table2": func(s Scale, seed int64) string { return Fig4Table2(s, seed).Render() },
+	"table3": func(s Scale, seed int64) string { return Table3().Render() },
+	"fig5":   func(s Scale, seed int64) string { return Fig5(s, seed).Render() },
+	"table4": func(s Scale, seed int64) string { return Table4(s, seed).Render() },
+	"table4-large": func(s Scale, seed int64) string {
+		return Table4Large(s, seed).Render()
+	},
+	"table5": func(s Scale, seed int64) string { return Table5(s, seed).Render() },
+	"fig6":   func(s Scale, seed int64) string { return Fig6(s, seed).Render() },
+	"fig7":   func(s Scale, seed int64) string { return Fig7(s, seed).Render() },
+	"fig8":   func(s Scale, seed int64) string { return Fig8(s, seed).Render() },
+}
+
+// Run executes the experiment with the given id.
+func Run(id string, scale Scale, seed int64) (string, error) {
+	r, ok := registry[id]
+	if !ok {
+		return "", fmt.Errorf("unknown experiment %q (available: %v)", id, List())
+	}
+	return r(scale, seed), nil
+}
+
+// List returns the available experiment ids in sorted order.
+func List() []string {
+	var ids []string
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}

@@ -1,0 +1,67 @@
+// Package models builds the network architectures of the paper's evaluation
+// (Table 3): VGG, pre-activation bottleneck ResNet, wide ResNet, the NNLM
+// language model, and an MLP for quickstarts — all slicing-ready, plus
+// exact paper-shape constructors used to validate the cost model against the
+// parameter counts the paper reports.
+package models
+
+import (
+	"fmt"
+
+	"modelslicing/internal/nn"
+)
+
+// Norm selects the normalization layer family for convolutional models.
+type Norm int
+
+const (
+	// NormGroup is group normalization — the paper's choice for model
+	// slicing (Section 3.2).
+	NormGroup Norm = iota
+	// NormBatch is standard batch normalization — the conventional
+	// baseline.
+	NormBatch
+	// NormSwitchable keeps one BatchNorm per scheduled width — the
+	// SlimmableNet baseline of Table 1.
+	NormSwitchable
+)
+
+// String implements fmt.Stringer.
+func (n Norm) String() string {
+	switch n {
+	case NormGroup:
+		return "group-norm"
+	case NormBatch:
+		return "batch-norm"
+	case NormSwitchable:
+		return "switchable-batch-norm"
+	default:
+		return fmt.Sprintf("Norm(%d)", int(n))
+	}
+}
+
+// newNorm builds a channel-normalization layer of the given family.
+// numWidths is the scheduled width count (used by NormSwitchable only);
+// normGroups is the group-norm group count (bounded by the channel count).
+func newNorm(kind Norm, channels int, spec nn.SliceSpec, normGroups, numWidths int) nn.Layer {
+	switch kind {
+	case NormGroup:
+		g := normGroups
+		if g > channels {
+			g = channels
+		}
+		// Keep compatibility between slice groups and norm groups: use the
+		// slice group count when slicing is enabled (Section 3.2 slices the
+		// normalization at group granularity).
+		if spec.Slice {
+			g = spec.Groups
+		}
+		return nn.NewGroupNorm(channels, g, spec, 1e-5)
+	case NormBatch:
+		return nn.NewBatchNorm(channels, spec)
+	case NormSwitchable:
+		return nn.NewSwitchableBatchNorm(channels, spec, numWidths)
+	default:
+		panic(fmt.Sprintf("models: unknown norm kind %d", int(kind)))
+	}
+}

@@ -1,0 +1,175 @@
+package models
+
+import (
+	"fmt"
+	"math/rand"
+
+	"modelslicing/internal/nn"
+)
+
+// ResNetConfig describes a pre-activation bottleneck ResNet (He et al.,
+// 2016, "Identity Mappings"), the B-Block architecture of Table 3.
+type ResNetConfig struct {
+	Name       string
+	InChannels int
+	// StemWidth is the channel count of the initial 3×3 convolution
+	// (CIFAR style) or 7×7 stride-2 convolution (ImageNet style).
+	StemWidth int
+	// StageWidths are bottleneck (inner) widths per stage; block output
+	// width is StageWidths[i] × Expansion.
+	StageWidths []int
+	StageBlocks []int
+	Expansion   int
+	Classes     int
+	Groups      int
+	Norm        Norm
+	NumWidths   int
+	// ImageNetStem selects 7×7/s2 + 3×3 max-pool/s2 instead of plain 3×3.
+	ImageNetStem bool
+	InputHW      int
+}
+
+// ResNet164Paper returns the CIFAR ResNet-164 shape of Table 3 (1.72M
+// params): 18 bottleneck blocks per stage at widths 16/32/64.
+func ResNet164Paper() ResNetConfig {
+	return ResNetConfig{
+		Name: "ResNet-164", InChannels: 3, StemWidth: 16, InputHW: 32,
+		StageWidths: []int{16, 32, 64}, StageBlocks: []int{18, 18, 18},
+		Expansion: 4, Classes: 10, Groups: 8, Norm: NormGroup, NumWidths: 1,
+	}
+}
+
+// ResNet56x2Paper returns the wide CIFAR ResNet-56-2 shape of Table 3
+// (2.35M params): 6 bottleneck blocks per stage at doubled widths 32/64/128.
+func ResNet56x2Paper() ResNetConfig {
+	return ResNetConfig{
+		Name: "ResNet-56-2", InChannels: 3, StemWidth: 16, InputHW: 32,
+		StageWidths: []int{32, 64, 128}, StageBlocks: []int{6, 6, 6},
+		Expansion: 4, Classes: 10, Groups: 8, Norm: NormGroup, NumWidths: 1,
+	}
+}
+
+// ResNet50Paper returns the ImageNet ResNet-50 shape of Table 3 (25.56M
+// params).
+func ResNet50Paper() ResNetConfig {
+	return ResNetConfig{
+		Name: "ResNet-50", InChannels: 3, StemWidth: 64, InputHW: 224,
+		StageWidths: []int{64, 128, 256, 512}, StageBlocks: []int{3, 4, 6, 3},
+		Expansion: 4, Classes: 1000, Groups: 8, Norm: NormGroup, NumWidths: 1,
+		ImageNetStem: true,
+	}
+}
+
+// ResNetMini returns the scaled-down ResNet-164 analogue used for training
+// on the synthetic CIFAR-like task: 2 blocks per stage at widths 8/8/16.
+func ResNetMini(groups int, norm Norm, numWidths int) ResNetConfig {
+	return ResNetConfig{
+		Name: "ResNet-mini", InChannels: 3, StemWidth: 8, InputHW: 16,
+		StageWidths: []int{8, 8, 16}, StageBlocks: []int{2, 2, 2},
+		Expansion: 2, Classes: 10, Groups: groups, Norm: norm, NumWidths: numWidths,
+	}
+}
+
+// ResNetMiniWide returns the ResNet-56-2 analogue (doubled widths).
+func ResNetMiniWide(groups int, norm Norm, numWidths int) ResNetConfig {
+	return ResNetConfig{
+		Name: "ResNet-mini-2", InChannels: 3, StemWidth: 8, InputHW: 16,
+		StageWidths: []int{16, 16, 32}, StageBlocks: []int{2, 2, 2},
+		Expansion: 2, Classes: 10, Groups: groups, Norm: norm, NumWidths: numWidths,
+	}
+}
+
+// ScaleWidths returns a copy with stem and stage widths multiplied by
+// num/den (fixed-width ensemble baselines).
+func (c ResNetConfig) ScaleWidths(num, den int) ResNetConfig {
+	out := c
+	out.StemWidth = scaleW(c.StemWidth, num, den)
+	out.StageWidths = make([]int, len(c.StageWidths))
+	for i, w := range c.StageWidths {
+		out.StageWidths[i] = scaleW(w, num, den)
+	}
+	out.Name = fmt.Sprintf("%s-w%d/%d", c.Name, num, den)
+	return out
+}
+
+func scaleW(w, num, den int) int {
+	s := w * num / den
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// bottleneck builds one pre-activation bottleneck block:
+// GN→ReLU→1×1(in→w) → GN→ReLU→3×3(w→w, stride) → GN→ReLU→1×1(w→out), with
+// an identity shortcut when shapes permit and a projection otherwise.
+func bottleneck(cfg ResNetConfig, in, width, stride int, rng *rand.Rand) *nn.Residual {
+	out := width * cfg.Expansion
+	spec := nn.Sliced(cfg.Groups)
+	inSpec := spec
+	if in == cfg.InChannels {
+		inSpec = nn.Fixed()
+	}
+	body := nn.NewSequential(
+		newNorm(cfg.Norm, in, inSpec, cfg.Groups, cfg.NumWidths),
+		nn.NewReLU(),
+		nn.Conv1x1(in, width, 1, inSpec, spec, rng),
+		newNorm(cfg.Norm, width, spec, cfg.Groups, cfg.NumWidths),
+		nn.NewReLU(),
+		nn.NewConv2D(width, width, 3, 3, stride, 1, spec, spec, false, rng),
+		newNorm(cfg.Norm, width, spec, cfg.Groups, cfg.NumWidths),
+		nn.NewReLU(),
+		nn.Conv1x1(width, out, 1, spec, spec, rng),
+	)
+	var short nn.Layer
+	if in != out || stride != 1 {
+		short = nn.Conv1x1(in, out, stride, inSpec, spec, rng)
+	}
+	return nn.NewResidual(body, short)
+}
+
+// NewResNet builds the network. The returned tap indices mark the layer
+// count after each stage, for multi-classifier baselines.
+func NewResNet(cfg ResNetConfig, rng *rand.Rand) (*nn.Sequential, []int) {
+	if len(cfg.StageWidths) != len(cfg.StageBlocks) {
+		panic(fmt.Sprintf("models: inconsistent ResNet config %+v", cfg))
+	}
+	seq := &nn.Sequential{}
+	spec := nn.Sliced(cfg.Groups)
+	if cfg.ImageNetStem {
+		seq.Layers = append(seq.Layers,
+			nn.NewConv2D(cfg.InChannels, cfg.StemWidth, 7, 7, 2, 3, nn.Fixed(), spec, false, rng),
+			newNorm(cfg.Norm, cfg.StemWidth, spec, cfg.Groups, cfg.NumWidths),
+			nn.NewReLU(),
+			nn.NewMaxPool2D(3, 2),
+		)
+	} else {
+		seq.Layers = append(seq.Layers,
+			nn.Conv3x3(cfg.InChannels, cfg.StemWidth, nn.Fixed(), spec, rng),
+		)
+	}
+	in := cfg.StemWidth
+	var taps []int
+	for s, width := range cfg.StageWidths {
+		for b := 0; b < cfg.StageBlocks[s]; b++ {
+			stride := 1
+			if b == 0 && s > 0 {
+				stride = 2
+			}
+			seq.Layers = append(seq.Layers, bottleneck(cfg, in, width, stride, rng))
+			in = width * cfg.Expansion
+		}
+		taps = append(taps, len(seq.Layers))
+	}
+	head := nn.NewDense(in, cfg.Classes, spec, nn.Fixed(), true, rng)
+	// Output rescaling: keep logit scale independent of the active fan-in
+	// (see NewVGG).
+	head.Rescale = true
+	seq.Layers = append(seq.Layers,
+		newNorm(cfg.Norm, in, spec, cfg.Groups, cfg.NumWidths),
+		nn.NewReLU(),
+		nn.NewGlobalAvgPool(),
+		head,
+	)
+	return seq, taps
+}

@@ -1,0 +1,151 @@
+package models
+
+import (
+	"fmt"
+	"math/rand"
+
+	"modelslicing/internal/nn"
+)
+
+// VGGConfig describes a VGG-style plain convolutional network.
+type VGGConfig struct {
+	Name        string
+	InChannels  int
+	StageWidths []int
+	StageBlocks []int
+	// PoolAfter marks stages followed by a 2×2 max-pool.
+	PoolAfter []bool
+	// FCDims are fully-connected hidden layers after flattening (ImageNet
+	// VGG); empty means global-average-pool directly into the classifier
+	// (CIFAR VGG, Table 3 left panel).
+	FCDims  []int
+	Classes int
+	// Groups is the slice granularity G per layer.
+	Groups int
+	// Norm picks the normalization family; NumWidths sizes NormSwitchable.
+	Norm      Norm
+	NumWidths int
+	// Dropout applies to FC hidden layers (ImageNet variant).
+	Dropout float64
+	// InputHW is the input spatial size (for documentation/cost queries).
+	InputHW int
+}
+
+// VGG13Paper returns the exact CIFAR VGG-13 shape of Table 3 (9.42M params).
+func VGG13Paper() VGGConfig {
+	return VGGConfig{
+		Name: "VGG-13", InChannels: 3, InputHW: 32,
+		StageWidths: []int{64, 128, 256, 512},
+		StageBlocks: []int{2, 2, 2, 4},
+		PoolAfter:   []bool{false, true, true, false},
+		Classes:     10, Groups: 8, Norm: NormGroup, NumWidths: 1,
+	}
+}
+
+// VGG16Paper returns the ImageNet VGG-16 shape of Table 3 (138.36M params).
+func VGG16Paper() VGGConfig {
+	return VGGConfig{
+		Name: "VGG-16", InChannels: 3, InputHW: 224,
+		StageWidths: []int{64, 128, 256, 512, 512},
+		StageBlocks: []int{2, 2, 3, 3, 3},
+		PoolAfter:   []bool{true, true, true, true, true},
+		FCDims:      []int{4096, 4096},
+		Classes:     1000, Groups: 8, Norm: NormGroup, NumWidths: 1,
+		Dropout: 0.5,
+	}
+}
+
+// VGG13Mini returns the width-scaled VGG-13 analogue used for training on
+// the synthetic CIFAR-like task (DESIGN.md §2): same stage structure, widths
+// divided by 8, two blocks in the last stage, 16×16 inputs.
+func VGG13Mini(groups int, norm Norm, numWidths int) VGGConfig {
+	return VGGConfig{
+		Name: "VGG-13-mini", InChannels: 3, InputHW: 16,
+		StageWidths: []int{8, 16, 32, 64},
+		StageBlocks: []int{2, 2, 2, 2},
+		PoolAfter:   []bool{false, true, true, false},
+		Classes:     10, Groups: groups, Norm: norm, NumWidths: numWidths,
+	}
+}
+
+// ScaleWidths returns a copy of the config with all stage widths multiplied
+// by num/den (used to build the fixed-width ensemble baselines).
+func (c VGGConfig) ScaleWidths(num, den int) VGGConfig {
+	out := c
+	out.StageWidths = make([]int, len(c.StageWidths))
+	for i, w := range c.StageWidths {
+		sw := w * num / den
+		if sw < 1 {
+			sw = 1
+		}
+		out.StageWidths[i] = sw
+	}
+	out.Name = fmt.Sprintf("%s-w%d/%d", c.Name, num, den)
+	return out
+}
+
+// NewVGG builds the network. The returned tap indices mark the layer count
+// after each stage (before its pool), for multi-classifier baselines.
+func NewVGG(cfg VGGConfig, rng *rand.Rand) (*nn.Sequential, []int) {
+	if len(cfg.StageWidths) != len(cfg.StageBlocks) || len(cfg.StageWidths) != len(cfg.PoolAfter) {
+		panic(fmt.Sprintf("models: inconsistent VGG config %+v", cfg))
+	}
+	seq := &nn.Sequential{}
+	var taps []int
+	in := cfg.InChannels
+	inSpec := nn.Fixed() // network input is never sliced
+	for s, width := range cfg.StageWidths {
+		outSpec := nn.Sliced(cfg.Groups)
+		for b := 0; b < cfg.StageBlocks[s]; b++ {
+			seq.Layers = append(seq.Layers,
+				nn.Conv3x3(in, width, inSpec, outSpec, rng),
+				newNorm(cfg.Norm, width, outSpec, cfg.Groups, cfg.NumWidths),
+				nn.NewReLU(),
+			)
+			in = width
+			inSpec = outSpec
+		}
+		taps = append(taps, len(seq.Layers))
+		if cfg.PoolAfter[s] {
+			seq.Layers = append(seq.Layers, nn.NewMaxPool2D(2, 2))
+		}
+	}
+	if len(cfg.FCDims) == 0 {
+		head := nn.NewDense(in, cfg.Classes, nn.Sliced(cfg.Groups), nn.Fixed(), true, rng)
+		// The classifier input is sliced and not followed by normalization,
+		// so its pre-activation scale would shrink with the rate; rescaling
+		// by full/active fan-in keeps the logit temperature stable across
+		// subnets (the paper's output rescaling).
+		head.Rescale = true
+		seq.Layers = append(seq.Layers,
+			nn.NewGlobalAvgPool(),
+			head,
+		)
+		return seq, taps
+	}
+	// ImageNet-style head: flatten the final feature map into FC layers.
+	hw := cfg.InputHW
+	for _, pool := range cfg.PoolAfter {
+		if pool {
+			hw /= 2
+		}
+	}
+	seq.Layers = append(seq.Layers, nn.NewFlatten())
+	fcIn := in * hw * hw
+	fcInSpec := nn.Sliced(cfg.Groups)
+	for _, dim := range cfg.FCDims {
+		seq.Layers = append(seq.Layers,
+			nn.NewDense(fcIn, dim, fcInSpec, nn.Sliced(cfg.Groups), true, rng),
+			nn.NewReLU(),
+		)
+		if cfg.Dropout > 0 {
+			seq.Layers = append(seq.Layers, nn.NewDropout(cfg.Dropout))
+		}
+		fcIn = dim
+		fcInSpec = nn.Sliced(cfg.Groups)
+	}
+	final := nn.NewDense(fcIn, cfg.Classes, fcInSpec, nn.Fixed(), true, rng)
+	final.Rescale = true
+	seq.Layers = append(seq.Layers, final)
+	return seq, taps
+}

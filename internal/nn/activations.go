@@ -1,0 +1,108 @@
+package nn
+
+import (
+	"fmt"
+
+	"modelslicing/internal/tensor"
+)
+
+// ReLU is the rectified linear unit, applied element-wise.
+type ReLU struct {
+	mask []bool
+}
+
+// NewReLU constructs a ReLU layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Forward computes max(x, 0) and caches the activation mask.
+func (r *ReLU) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
+	y := tensor.New(x.Shape...)
+	if cap(r.mask) < len(x.Data) {
+		r.mask = make([]bool, len(x.Data))
+	}
+	r.mask = r.mask[:len(x.Data)]
+	for i, v := range x.Data {
+		if v > 0 {
+			y.Data[i] = v
+			r.mask[i] = true
+		} else {
+			r.mask[i] = false
+		}
+	}
+	return y
+}
+
+// Backward gates the gradient by the cached mask.
+func (r *ReLU) Backward(ctx *Context, dy *tensor.Tensor) *tensor.Tensor {
+	if len(dy.Data) != len(r.mask) {
+		panic(fmt.Sprintf("nn: ReLU.Backward grad size %d, want %d", len(dy.Data), len(r.mask)))
+	}
+	dx := tensor.New(dy.Shape...)
+	for i, v := range dy.Data {
+		if r.mask[i] {
+			dx.Data[i] = v
+		}
+	}
+	return dx
+}
+
+// Params returns nil; ReLU has no parameters.
+func (r *ReLU) Params() []*Param { return nil }
+
+// Dropout zeroes each element with probability P during training and scales
+// the survivors by 1/(1-P) (inverted dropout); evaluation is the identity.
+type Dropout struct {
+	P    float64
+	mask []float64
+	used bool
+}
+
+// NewDropout constructs a dropout layer with drop probability p ∈ [0, 1).
+func NewDropout(p float64) *Dropout {
+	if p < 0 || p >= 1 {
+		panic(fmt.Sprintf("nn: Dropout probability %v out of [0,1)", p))
+	}
+	return &Dropout{P: p}
+}
+
+// Forward applies the stochastic mask during training.
+func (d *Dropout) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
+	if ctx == nil || !ctx.Training || d.P == 0 {
+		d.used = false
+		return x
+	}
+	if ctx.RNG == nil {
+		panic("nn: Dropout requires Context.RNG during training")
+	}
+	d.used = true
+	if cap(d.mask) < len(x.Data) {
+		d.mask = make([]float64, len(x.Data))
+	}
+	d.mask = d.mask[:len(x.Data)]
+	keep := 1 / (1 - d.P)
+	y := tensor.New(x.Shape...)
+	for i, v := range x.Data {
+		if ctx.RNG.Float64() < d.P {
+			d.mask[i] = 0
+		} else {
+			d.mask[i] = keep
+			y.Data[i] = v * keep
+		}
+	}
+	return y
+}
+
+// Backward applies the cached mask to the gradient.
+func (d *Dropout) Backward(ctx *Context, dy *tensor.Tensor) *tensor.Tensor {
+	if !d.used {
+		return dy
+	}
+	dx := tensor.New(dy.Shape...)
+	for i, v := range dy.Data {
+		dx.Data[i] = v * d.mask[i]
+	}
+	return dx
+}
+
+// Params returns nil; Dropout has no parameters.
+func (d *Dropout) Params() []*Param { return nil }

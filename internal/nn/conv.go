@@ -1,0 +1,190 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"modelslicing/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution over [B, C, H, W] tensors with prefix slicing
+// on input and output channels (Equation 4 of the paper: channels play the
+// role neurons play in dense layers). The kernel is stored as a GEMM-ready
+// matrix [Out × In·KH·KW]; because the channel index is outermost in the
+// im2col row ordering, the leading aIn·KH·KW columns are exactly the kernel
+// entries of the first aIn input channels, so slicing is again a zero-copy
+// prefix view.
+type Conv2D struct {
+	In, Out         int
+	KH, KW          int
+	Stride, Pad     int
+	InSpec, OutSpec SliceSpec
+
+	W *Param // [Out, In*KH*KW]
+	B *Param // [Out], nil when built without bias
+
+	// cached forward state
+	x          *tensor.Tensor
+	aIn, aOut  int
+	h, w       int
+	outH, outW int
+}
+
+// NewConv2D constructs a convolution with He initialization.
+func NewConv2D(in, out, kh, kw, stride, pad int, inSpec, outSpec SliceSpec, bias bool, rng *rand.Rand) *Conv2D {
+	inSpec.Validate("Conv2D.In", in)
+	outSpec.Validate("Conv2D.Out", out)
+	c := &Conv2D{
+		In: in, Out: out, KH: kh, KW: kw, Stride: stride, Pad: pad,
+		InSpec: inSpec, OutSpec: outSpec,
+		W: NewParam("conv.W", true, out, in*kh*kw),
+	}
+	tensor.InitHe(c.W.Value, in*kh*kw, rng)
+	if bias {
+		c.B = NewParam("conv.B", false, out)
+	}
+	return c
+}
+
+// Conv3x3 is shorthand for the ubiquitous 3×3 stride-1 same-padding conv.
+func Conv3x3(in, out int, inSpec, outSpec SliceSpec, rng *rand.Rand) *Conv2D {
+	return NewConv2D(in, out, 3, 3, 1, 1, inSpec, outSpec, false, rng)
+}
+
+// Conv1x1 is shorthand for a point-wise convolution.
+func Conv1x1(in, out, stride int, inSpec, outSpec SliceSpec, rng *rand.Rand) *Conv2D {
+	return NewConv2D(in, out, 1, 1, stride, 0, inSpec, outSpec, false, rng)
+}
+
+// Active returns the active (input, output) channel counts at slice rate r.
+func (c *Conv2D) Active(r float64) (aIn, aOut int) {
+	return c.InSpec.Active(r, c.In), c.OutSpec.Active(r, c.Out)
+}
+
+// OutShape returns the output spatial size for the given input size.
+func (c *Conv2D) OutShape(h, w int) (int, int) {
+	return tensor.ConvOutSize(h, c.KH, c.Stride, c.Pad), tensor.ConvOutSize(w, c.KW, c.Stride, c.Pad)
+}
+
+// Forward computes y[B, aOut, outH, outW] from x[B, aIn, H, W].
+func (c *Conv2D) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
+	r := ctx.EffRate()
+	c.aIn, c.aOut = c.Active(r)
+	if x.Rank() != 4 || x.Dim(1) != c.aIn {
+		panic(fmt.Sprintf("nn: Conv2D.Forward input %v, want [B %d H W] at rate %v", x.Shape, c.aIn, r))
+	}
+	batch := x.Dim(0)
+	c.h, c.w = x.Dim(2), x.Dim(3)
+	c.outH, c.outW = c.OutShape(c.h, c.w)
+	c.x = x
+	y := tensor.New(batch, c.aOut, c.outH, c.outW)
+
+	inPlane := c.aIn * c.h * c.w
+	outPlane := c.aOut * c.outH * c.outW
+	spatial := c.outH * c.outW
+	colRows := c.aIn * c.KH * c.KW
+	ldW := c.In * c.KH * c.KW
+
+	nw := maxWorkers(batch)
+	cols := make([][]float64, nw)
+	for i := range cols {
+		cols[i] = make([]float64, colRows*spatial)
+	}
+	parallelFor(batch, func(worker, b int) {
+		col := cols[worker]
+		src := x.Data[b*inPlane : (b+1)*inPlane]
+		tensor.Im2Col(src, c.aIn, c.h, c.w, c.KH, c.KW, c.Stride, c.Pad, col)
+		dst := y.Data[b*outPlane : (b+1)*outPlane]
+		tensor.Gemm(c.aOut, spatial, colRows, c.W.Value.Data, ldW, col, spatial, dst, spatial)
+		if c.B != nil {
+			for oc := 0; oc < c.aOut; oc++ {
+				bias := c.B.Value.Data[oc]
+				plane := dst[oc*spatial : (oc+1)*spatial]
+				for i := range plane {
+					plane[i] += bias
+				}
+			}
+		}
+	})
+	return y
+}
+
+// Backward accumulates dW, dB and returns dx[B, aIn, H, W].
+func (c *Conv2D) Backward(ctx *Context, dy *tensor.Tensor) *tensor.Tensor {
+	batch := c.x.Dim(0)
+	if dy.Rank() != 4 || dy.Dim(0) != batch || dy.Dim(1) != c.aOut || dy.Dim(2) != c.outH || dy.Dim(3) != c.outW {
+		panic(fmt.Sprintf("nn: Conv2D.Backward grad %v, want [%d %d %d %d]", dy.Shape, batch, c.aOut, c.outH, c.outW))
+	}
+	dx := tensor.New(batch, c.aIn, c.h, c.w)
+
+	inPlane := c.aIn * c.h * c.w
+	outPlane := c.aOut * c.outH * c.outW
+	spatial := c.outH * c.outW
+	colRows := c.aIn * c.KH * c.KW
+	ldW := c.In * c.KH * c.KW
+
+	nw := maxWorkers(batch)
+	// Worker-local scratch: im2col buffer, dcol buffer, and a private dW
+	// (and dB) accumulator to avoid write races; reduced after the loop.
+	cols := make([][]float64, nw)
+	dcols := make([][]float64, nw)
+	dws := make([][]float64, nw)
+	dbs := make([][]float64, nw)
+	for i := 0; i < nw; i++ {
+		cols[i] = make([]float64, colRows*spatial)
+		dcols[i] = make([]float64, colRows*spatial)
+		dws[i] = make([]float64, len(c.W.Grad.Data))
+		if c.B != nil {
+			dbs[i] = make([]float64, c.aOut)
+		}
+	}
+	parallelFor(batch, func(worker, b int) {
+		col := cols[worker]
+		dcol := dcols[worker]
+		src := c.x.Data[b*inPlane : (b+1)*inPlane]
+		tensor.Im2Col(src, c.aIn, c.h, c.w, c.KH, c.KW, c.Stride, c.Pad, col)
+		g := dy.Data[b*outPlane : (b+1)*outPlane]
+		// dW += dy_b · colᵀ
+		tensor.GemmTB(c.aOut, colRows, spatial, g, spatial, col, spatial, dws[worker], ldW)
+		// dcol = Wᵀ · dy_b
+		for i := range dcol {
+			dcol[i] = 0
+		}
+		tensor.GemmTA(colRows, spatial, c.aOut, c.W.Value.Data, ldW, g, spatial, dcol, spatial)
+		tensor.Col2Im(dcol, c.aIn, c.h, c.w, c.KH, c.KW, c.Stride, c.Pad, dx.Data[b*inPlane:(b+1)*inPlane])
+		if c.B != nil {
+			db := dbs[worker]
+			for oc := 0; oc < c.aOut; oc++ {
+				plane := g[oc*spatial : (oc+1)*spatial]
+				s := 0.0
+				for _, v := range plane {
+					s += v
+				}
+				db[oc] += s
+			}
+		}
+	})
+	for i := 0; i < nw; i++ {
+		gw := c.W.Grad.Data
+		for j, v := range dws[i] {
+			if v != 0 {
+				gw[j] += v
+			}
+		}
+		if c.B != nil {
+			gb := c.B.Grad.Data
+			for j, v := range dbs[i] {
+				gb[j] += v
+			}
+		}
+	}
+	return dx
+}
+
+// Params returns the learnable parameters.
+func (c *Conv2D) Params() []*Param {
+	if c.B == nil {
+		return []*Param{c.W}
+	}
+	return []*Param{c.W, c.B}
+}

@@ -1,0 +1,121 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"modelslicing/internal/tensor"
+)
+
+// Dense is a fully-connected layer y = W·x + b with prefix slicing on both
+// the input and output dimension (Section 3.1 of the paper). The weight is
+// stored as [Out × In]; at slice rate r only the leading aOut rows and aIn
+// columns participate, which realizes the gating variables of Equation 1
+// with the partial order of Equation 2 at zero masking cost.
+type Dense struct {
+	In, Out int
+	// InSpec and OutSpec control slicing of the two dimensions.
+	InSpec, OutSpec SliceSpec
+	// Rescale multiplies the pre-activation by In/activeIn so that the
+	// output scale is stable as the fan-in shrinks. Used in stacks without
+	// normalization layers (the paper's NNLM output layer rescaling).
+	Rescale bool
+
+	W *Param // [Out, In]
+	B *Param // [Out], nil when built without bias
+
+	// cached forward state
+	x         *tensor.Tensor
+	aIn, aOut int
+	batch     int
+	scale     float64
+}
+
+// NewDense constructs a Dense layer with He initialization.
+func NewDense(in, out int, inSpec, outSpec SliceSpec, bias bool, rng *rand.Rand) *Dense {
+	inSpec.Validate("Dense.In", in)
+	outSpec.Validate("Dense.Out", out)
+	d := &Dense{
+		In: in, Out: out,
+		InSpec: inSpec, OutSpec: outSpec,
+		W: NewParam("dense.W", true, out, in),
+	}
+	tensor.InitHe(d.W.Value, in, rng)
+	if bias {
+		d.B = NewParam("dense.B", false, out)
+	}
+	return d
+}
+
+// Active returns the active (input, output) widths at slice rate r.
+func (d *Dense) Active(r float64) (aIn, aOut int) {
+	return d.InSpec.Active(r, d.In), d.OutSpec.Active(r, d.Out)
+}
+
+// Forward computes y[B × aOut] from x[B × aIn].
+func (d *Dense) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
+	r := ctx.EffRate()
+	d.aIn, d.aOut = d.Active(r)
+	if x.Rank() != 2 || x.Dim(1) != d.aIn {
+		panic(fmt.Sprintf("nn: Dense.Forward input %v, want [B %d] at rate %v", x.Shape, d.aIn, r))
+	}
+	d.batch = x.Dim(0)
+	d.x = x
+	d.scale = 1
+	if d.Rescale && d.aIn < d.In {
+		d.scale = float64(d.In) / float64(d.aIn)
+	}
+	y := tensor.New(d.batch, d.aOut)
+	// y += x · Wᵀ using the sliced prefix of W.
+	tensor.GemmTB(d.batch, d.aOut, d.aIn, x.Data, d.aIn, d.W.Value.Data, d.In, y.Data, d.aOut)
+	if d.scale != 1 {
+		y.Scale(d.scale)
+	}
+	if d.B != nil {
+		b := d.B.Value.Data
+		for i := 0; i < d.batch; i++ {
+			row := y.Row(i)
+			for j := 0; j < d.aOut; j++ {
+				row[j] += b[j]
+			}
+		}
+	}
+	return y
+}
+
+// Backward accumulates dW, dB and returns dx[B × aIn].
+func (d *Dense) Backward(ctx *Context, dy *tensor.Tensor) *tensor.Tensor {
+	if dy.Rank() != 2 || dy.Dim(0) != d.batch || dy.Dim(1) != d.aOut {
+		panic(fmt.Sprintf("nn: Dense.Backward grad %v, want [%d %d]", dy.Shape, d.batch, d.aOut))
+	}
+	if d.B != nil {
+		gb := d.B.Grad.Data
+		for i := 0; i < d.batch; i++ {
+			row := dy.Row(i)
+			for j := 0; j < d.aOut; j++ {
+				gb[j] += row[j]
+			}
+		}
+	}
+	// The rescale factor multiplies the W·x term only (bias added after),
+	// so it scales both dW and dx but not dB.
+	dyEff := dy
+	if d.scale != 1 {
+		dyEff = dy.Clone()
+		dyEff.Scale(d.scale)
+	}
+	// dW[aOut × aIn] += dyᵀ · x
+	tensor.GemmTA(d.aOut, d.aIn, d.batch, dyEff.Data, d.aOut, d.x.Data, d.aIn, d.W.Grad.Data, d.In)
+	// dx[B × aIn] += dy · W
+	dx := tensor.New(d.batch, d.aIn)
+	tensor.Gemm(d.batch, d.aIn, d.aOut, dyEff.Data, d.aOut, d.W.Value.Data, d.In, dx.Data, d.aIn)
+	return dx
+}
+
+// Params returns the learnable parameters.
+func (d *Dense) Params() []*Param {
+	if d.B == nil {
+		return []*Param{d.W}
+	}
+	return []*Param{d.W, d.B}
+}

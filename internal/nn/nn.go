@@ -1,0 +1,196 @@
+// Package nn implements a slicing-aware neural-network layer framework with
+// manual back-propagation, built on internal/tensor.
+//
+// Every width-bearing layer (Dense, Conv2D, GroupNorm, BatchNorm, RNN, GRU,
+// LSTM) supports *prefix slicing* per the model-slicing paper (Cai et al.,
+// VLDB 2019): the layer's components (neurons, channels, hidden units) are
+// divided into ordered groups, and a slice rate r ∈ (0,1] carried by Context
+// selects the leading ⌈r·G⌉ groups for both the forward and backward pass.
+// Tensors flow between layers at their *active* width, so a sliced forward
+// pass touches only the activated prefix of each weight buffer — matching the
+// paper's claim that sub-networks need only the sliced parameters in memory.
+//
+// Layers cache forward state and are therefore not safe for concurrent use;
+// one goroutine per model instance is the intended usage.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"modelslicing/internal/tensor"
+)
+
+// Context carries per-pass state through Forward and Backward calls.
+type Context struct {
+	// Training selects training behaviour (dropout active, batch-norm batch
+	// statistics, caches retained for Backward).
+	Training bool
+	// Rate is the slice rate r ∈ (0,1]. Zero is treated as 1 (full width).
+	Rate float64
+	// WidthIdx identifies the scheduled width for layers that keep
+	// per-width state (SwitchableBatchNorm in the SlimmableNet baseline).
+	// It indexes the slice-rate list used during training.
+	WidthIdx int
+	// RNG drives stochastic layers (dropout). May be nil outside training.
+	RNG *rand.Rand
+}
+
+// EffRate returns the effective slice rate (0 mapped to 1).
+func (c *Context) EffRate() float64 {
+	if c == nil || c.Rate <= 0 {
+		return 1
+	}
+	if c.Rate > 1 {
+		return 1
+	}
+	return c.Rate
+}
+
+// Eval returns a fresh evaluation context at slice rate r.
+func Eval(r float64) *Context { return &Context{Training: false, Rate: r} }
+
+// Train returns a fresh training context at slice rate r using rng.
+func Train(r float64, rng *rand.Rand) *Context {
+	return &Context{Training: true, Rate: r, RNG: rng}
+}
+
+// Param is a learnable parameter with its gradient accumulator.
+type Param struct {
+	// Name identifies the parameter for checkpoints and debugging.
+	Name string
+	// Value holds the parameter itself.
+	Value *tensor.Tensor
+	// Grad accumulates gradients; optimizers zero it after each step.
+	Grad *tensor.Tensor
+	// Decay marks the parameter as subject to weight decay (weights yes,
+	// biases and normalization affine parameters no, per convention).
+	Decay bool
+}
+
+// NewParam allocates a parameter (and matching gradient) of the given shape.
+func NewParam(name string, decay bool, shape ...int) *Param {
+	return &Param{
+		Name:  name,
+		Value: tensor.New(shape...),
+		Grad:  tensor.New(shape...),
+		Decay: decay,
+	}
+}
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// Layer is the unit of composition. Backward must be called with the same
+// Context (in particular the same slice rate) as the preceding Forward, and
+// returns the gradient with respect to the layer input. Parameter gradients
+// are accumulated into Params()[i].Grad (not overwritten), which is what
+// Algorithm 1's multi-subnet gradient accumulation requires.
+type Layer interface {
+	Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor
+	Backward(ctx *Context, dy *tensor.Tensor) *tensor.Tensor
+	Params() []*Param
+}
+
+// SliceSpec describes how one dimension of a layer participates in slicing.
+type SliceSpec struct {
+	// Groups is the number of contiguous groups the dimension is divided
+	// into. The dimension extent must be divisible by Groups.
+	Groups int
+	// Slice enables slicing on this dimension. Input layers keep their
+	// input full and output layers their output full (Section 5.1.1).
+	Slice bool
+}
+
+// Fixed returns a spec for a dimension excluded from slicing.
+func Fixed() SliceSpec { return SliceSpec{Groups: 1, Slice: false} }
+
+// Sliced returns a spec dividing the dimension into g groups.
+func Sliced(g int) SliceSpec { return SliceSpec{Groups: g, Slice: true} }
+
+// Active returns the number of active units of a dimension of the given
+// width at slice rate r: the leading ⌈r·G⌉ groups, always at least one group.
+func (s SliceSpec) Active(r float64, width int) int {
+	if !s.Slice || r >= 1 {
+		return width
+	}
+	return ActiveUnits(r, width, s.Groups)
+}
+
+// Validate panics unless width is divisible by the group count.
+func (s SliceSpec) Validate(name string, width int) {
+	g := s.Groups
+	if g <= 0 {
+		panic(fmt.Sprintf("nn: %s: group count must be positive, got %d", name, g))
+	}
+	if width%g != 0 {
+		panic(fmt.Sprintf("nn: %s: width %d not divisible by %d groups", name, width, g))
+	}
+}
+
+// ActiveUnits computes the active prefix length of a width divided into
+// groups at slice rate r. Rates are snapped to the nearest group boundary
+// and clamped to [1, groups] groups.
+func ActiveUnits(r float64, width, groups int) int {
+	if groups <= 0 {
+		groups = 1
+	}
+	g := int(math.Round(r * float64(groups)))
+	if g < 1 {
+		g = 1
+	}
+	if g > groups {
+		g = groups
+	}
+	return g * (width / groups)
+}
+
+// Sequential chains layers; the output of layer i feeds layer i+1.
+type Sequential struct {
+	Layers []Layer
+}
+
+// NewSequential builds a Sequential from the given layers.
+func NewSequential(layers ...Layer) *Sequential { return &Sequential{Layers: layers} }
+
+// Forward runs all layers in order.
+func (s *Sequential) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
+	for _, l := range s.Layers {
+		x = l.Forward(ctx, x)
+	}
+	return x
+}
+
+// Backward runs all layers in reverse order.
+func (s *Sequential) Backward(ctx *Context, dy *tensor.Tensor) *tensor.Tensor {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		dy = s.Layers[i].Backward(ctx, dy)
+	}
+	return dy
+}
+
+// Params returns the concatenated parameters of all layers.
+func (s *Sequential) Params() []*Param {
+	var ps []*Param
+	for _, l := range s.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// ForwardPrefix runs only the first n layers (used by early-exit baselines).
+func (s *Sequential) ForwardPrefix(ctx *Context, x *tensor.Tensor, n int) *tensor.Tensor {
+	for _, l := range s.Layers[:n] {
+		x = l.Forward(ctx, x)
+	}
+	return x
+}
+
+// BackwardRange back-propagates dy through layers [from, to) in reverse.
+func (s *Sequential) BackwardRange(ctx *Context, dy *tensor.Tensor, from, to int) *tensor.Tensor {
+	for i := to - 1; i >= from; i-- {
+		dy = s.Layers[i].Backward(ctx, dy)
+	}
+	return dy
+}

@@ -1,0 +1,397 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"modelslicing/internal/tensor"
+)
+
+// GroupNorm normalizes channels within contiguous groups (Wu & He, 2018),
+// the paper's replacement for batch normalization under model slicing
+// (Section 3.2): because statistics are computed per sample within each
+// group, the output scale is independent of how many input channels are
+// active, and the normalization layer can be sliced at group granularity
+// together with the convolution it follows.
+//
+// Inputs may be rank 4 ([B, C, H, W]) or rank 2 ([B, C], treated as H=W=1).
+type GroupNorm struct {
+	C int
+	// NormGroups is the number of normalization groups G in Equation 6.
+	NormGroups int
+	// Spec controls channel slicing. The per-group channel count C/NormGroups
+	// must divide every reachable active width, which holds whenever
+	// Spec.Groups is a multiple of... see NewGroupNorm.
+	Spec SliceSpec
+	Eps  float64
+
+	Gamma *Param // [C] scale (the γ visualized in Figure 6)
+	Beta  *Param // [C] shift
+
+	// cached forward state
+	xhat      *tensor.Tensor
+	invStd    []float64 // per (sample, active group)
+	aC        int
+	batch     int
+	hw        int
+	rank4     bool
+	origShape []int
+}
+
+// NewGroupNorm constructs a group-norm layer. normGroups must divide c, and
+// for sliceability the slice-group size (c/spec.Groups) must be a multiple of
+// the normalization group size (c/normGroups), i.e. normGroups must be a
+// multiple of spec.Groups or equal to it. The common configuration — used
+// throughout the experiments — is normGroups == spec.Groups.
+func NewGroupNorm(c, normGroups int, spec SliceSpec, eps float64) *GroupNorm {
+	if c%normGroups != 0 {
+		panic(fmt.Sprintf("nn: GroupNorm: %d channels not divisible by %d groups", c, normGroups))
+	}
+	spec.Validate("GroupNorm", c)
+	if spec.Slice && normGroups%spec.Groups != 0 && spec.Groups%normGroups != 0 {
+		panic(fmt.Sprintf("nn: GroupNorm: norm groups %d incompatible with %d slice groups", normGroups, spec.Groups))
+	}
+	g := &GroupNorm{
+		C: c, NormGroups: normGroups, Spec: spec, Eps: eps,
+		Gamma: NewParam("gn.gamma", false, c),
+		Beta:  NewParam("gn.beta", false, c),
+	}
+	g.Gamma.Value.Fill(1)
+	return g
+}
+
+func (g *GroupNorm) shapeIn(x *tensor.Tensor, want int) (batch, hw int) {
+	switch x.Rank() {
+	case 4:
+		if x.Dim(1) != want {
+			panic(fmt.Sprintf("nn: GroupNorm input %v, want %d channels", x.Shape, want))
+		}
+		g.rank4 = true
+		return x.Dim(0), x.Dim(2) * x.Dim(3)
+	case 2:
+		if x.Dim(1) != want {
+			panic(fmt.Sprintf("nn: GroupNorm input %v, want %d features", x.Shape, want))
+		}
+		g.rank4 = false
+		return x.Dim(0), 1
+	default:
+		panic(fmt.Sprintf("nn: GroupNorm input rank %d unsupported", x.Rank()))
+	}
+}
+
+// Forward normalizes the active channels group-wise per sample.
+func (g *GroupNorm) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
+	r := ctx.EffRate()
+	g.aC = g.Spec.Active(r, g.C)
+	g.batch, g.hw = g.shapeIn(x, g.aC)
+	g.origShape = append([]int(nil), x.Shape...)
+	gs := g.C / g.NormGroups // channels per normalization group
+	if g.aC%gs != 0 {
+		panic(fmt.Sprintf("nn: GroupNorm: active width %d not divisible by group size %d", g.aC, gs))
+	}
+	ag := g.aC / gs // active normalization groups
+	n := gs * g.hw  // elements per (sample, group)
+
+	y := tensor.New(x.Shape...)
+	g.xhat = tensor.New(x.Shape...)
+	g.invStd = make([]float64, g.batch*ag)
+
+	plane := g.aC * g.hw
+	gamma, beta := g.Gamma.Value.Data, g.Beta.Value.Data
+	for b := 0; b < g.batch; b++ {
+		src := x.Data[b*plane : (b+1)*plane]
+		dst := y.Data[b*plane : (b+1)*plane]
+		xh := g.xhat.Data[b*plane : (b+1)*plane]
+		for gi := 0; gi < ag; gi++ {
+			seg := src[gi*n : (gi+1)*n]
+			mu := 0.0
+			for _, v := range seg {
+				mu += v
+			}
+			mu /= float64(n)
+			va := 0.0
+			for _, v := range seg {
+				d := v - mu
+				va += d * d
+			}
+			va /= float64(n)
+			is := 1 / math.Sqrt(va+g.Eps)
+			g.invStd[b*ag+gi] = is
+			for j, v := range seg {
+				ch := gi*gs + j/g.hw
+				h := (v - mu) * is
+				xh[gi*n+j] = h
+				dst[gi*n+j] = gamma[ch]*h + beta[ch]
+			}
+		}
+	}
+	return y
+}
+
+// Backward accumulates dGamma, dBeta and returns dx.
+func (g *GroupNorm) Backward(ctx *Context, dy *tensor.Tensor) *tensor.Tensor {
+	gs := g.C / g.NormGroups
+	ag := g.aC / gs
+	n := gs * g.hw
+	plane := g.aC * g.hw
+	dx := tensor.New(g.origShape...)
+	gamma := g.Gamma.Value.Data
+	dgamma, dbeta := g.Gamma.Grad.Data, g.Beta.Grad.Data
+
+	for b := 0; b < g.batch; b++ {
+		gseg := dy.Data[b*plane : (b+1)*plane]
+		xh := g.xhat.Data[b*plane : (b+1)*plane]
+		dseg := dx.Data[b*plane : (b+1)*plane]
+		for gi := 0; gi < ag; gi++ {
+			is := g.invStd[b*ag+gi]
+			// First pass: parameter grads and the two reduction terms.
+			sumDxhat, sumDxhatXhat := 0.0, 0.0
+			for j := 0; j < n; j++ {
+				ch := gi*gs + j/g.hw
+				gv := gseg[gi*n+j]
+				hv := xh[gi*n+j]
+				dgamma[ch] += gv * hv
+				dbeta[ch] += gv
+				dxh := gv * gamma[ch]
+				sumDxhat += dxh
+				sumDxhatXhat += dxh * hv
+			}
+			mDxhat := sumDxhat / float64(n)
+			mDxhatXhat := sumDxhatXhat / float64(n)
+			for j := 0; j < n; j++ {
+				ch := gi*gs + j/g.hw
+				dxh := gseg[gi*n+j] * gamma[ch]
+				dseg[gi*n+j] = is * (dxh - mDxhat - xh[gi*n+j]*mDxhatXhat)
+			}
+		}
+	}
+	return dx
+}
+
+// Params returns γ and β.
+func (g *GroupNorm) Params() []*Param { return []*Param{g.Gamma, g.Beta} }
+
+// GammaGroupMeans returns the mean |γ| per slice group over the full width —
+// the quantity visualized in Figure 6 of the paper.
+func (g *GroupNorm) GammaGroupMeans() []float64 {
+	groups := g.Spec.Groups
+	gs := g.C / groups
+	out := make([]float64, groups)
+	for gi := 0; gi < groups; gi++ {
+		s := 0.0
+		for j := 0; j < gs; j++ {
+			s += math.Abs(g.Gamma.Value.Data[gi*gs+j])
+		}
+		out[gi] = s / float64(gs)
+	}
+	return out
+}
+
+// BatchNorm is standard batch normalization with running statistics. Under
+// model slicing the running estimates destabilize as the active width varies
+// (Section 3.2) — it is provided for the conventionally-trained baselines and
+// as the building block of SwitchableBatchNorm (SlimmableNet).
+//
+// Inputs may be rank 4 ([B, C, H, W]) or rank 2 ([B, C]).
+type BatchNorm struct {
+	C        int
+	Spec     SliceSpec
+	Eps      float64
+	Momentum float64 // running = (1-m)*running + m*batch
+
+	Gamma, Beta *Param
+	RunMean     *tensor.Tensor
+	RunVar      *tensor.Tensor
+
+	// cached forward state
+	xhat      *tensor.Tensor
+	invStd    []float64
+	aC        int
+	batch, hw int
+	origShape []int
+	training  bool
+}
+
+// NewBatchNorm constructs a batch-norm layer with PyTorch-style defaults.
+func NewBatchNorm(c int, spec SliceSpec) *BatchNorm {
+	spec.Validate("BatchNorm", c)
+	b := &BatchNorm{
+		C: c, Spec: spec, Eps: 1e-5, Momentum: 0.1,
+		Gamma:   NewParam("bn.gamma", false, c),
+		Beta:    NewParam("bn.beta", false, c),
+		RunMean: tensor.New(c),
+		RunVar:  tensor.New(c),
+	}
+	b.Gamma.Value.Fill(1)
+	b.RunVar.Fill(1)
+	return b
+}
+
+func (b *BatchNorm) shapeIn(x *tensor.Tensor, want int) (batch, hw int) {
+	switch x.Rank() {
+	case 4:
+		if x.Dim(1) != want {
+			panic(fmt.Sprintf("nn: BatchNorm input %v, want %d channels", x.Shape, want))
+		}
+		return x.Dim(0), x.Dim(2) * x.Dim(3)
+	case 2:
+		if x.Dim(1) != want {
+			panic(fmt.Sprintf("nn: BatchNorm input %v, want %d features", x.Shape, want))
+		}
+		return x.Dim(0), 1
+	default:
+		panic(fmt.Sprintf("nn: BatchNorm input rank %d unsupported", x.Rank()))
+	}
+}
+
+// Forward normalizes per channel, with batch statistics during training and
+// running estimates during evaluation.
+func (b *BatchNorm) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
+	r := ctx.EffRate()
+	b.aC = b.Spec.Active(r, b.C)
+	b.batch, b.hw = b.shapeIn(x, b.aC)
+	b.origShape = append([]int(nil), x.Shape...)
+	b.training = ctx != nil && ctx.Training
+	plane := b.aC * b.hw
+	n := b.batch * b.hw
+
+	y := tensor.New(x.Shape...)
+	gamma, beta := b.Gamma.Value.Data, b.Beta.Value.Data
+	if b.training {
+		b.xhat = tensor.New(x.Shape...)
+		b.invStd = make([]float64, b.aC)
+		for c := 0; c < b.aC; c++ {
+			mu, va := 0.0, 0.0
+			for s := 0; s < b.batch; s++ {
+				seg := x.Data[s*plane+c*b.hw : s*plane+(c+1)*b.hw]
+				for _, v := range seg {
+					mu += v
+				}
+			}
+			mu /= float64(n)
+			for s := 0; s < b.batch; s++ {
+				seg := x.Data[s*plane+c*b.hw : s*plane+(c+1)*b.hw]
+				for _, v := range seg {
+					d := v - mu
+					va += d * d
+				}
+			}
+			va /= float64(n)
+			is := 1 / math.Sqrt(va+b.Eps)
+			b.invStd[c] = is
+			// Unbiased variance for the running estimate, as in PyTorch.
+			unbiased := va
+			if n > 1 {
+				unbiased = va * float64(n) / float64(n-1)
+			}
+			b.RunMean.Data[c] = (1-b.Momentum)*b.RunMean.Data[c] + b.Momentum*mu
+			b.RunVar.Data[c] = (1-b.Momentum)*b.RunVar.Data[c] + b.Momentum*unbiased
+			for s := 0; s < b.batch; s++ {
+				off := s*plane + c*b.hw
+				for j := 0; j < b.hw; j++ {
+					h := (x.Data[off+j] - mu) * is
+					b.xhat.Data[off+j] = h
+					y.Data[off+j] = gamma[c]*h + beta[c]
+				}
+			}
+		}
+		return y
+	}
+	for c := 0; c < b.aC; c++ {
+		is := 1 / math.Sqrt(b.RunVar.Data[c]+b.Eps)
+		mu := b.RunMean.Data[c]
+		for s := 0; s < b.batch; s++ {
+			off := s*plane + c*b.hw
+			for j := 0; j < b.hw; j++ {
+				y.Data[off+j] = gamma[c]*(x.Data[off+j]-mu)*is + beta[c]
+			}
+		}
+	}
+	return y
+}
+
+// Backward accumulates dGamma, dBeta and returns dx (training mode only).
+func (b *BatchNorm) Backward(ctx *Context, dy *tensor.Tensor) *tensor.Tensor {
+	if !b.training {
+		panic("nn: BatchNorm.Backward called after evaluation-mode Forward")
+	}
+	plane := b.aC * b.hw
+	n := float64(b.batch * b.hw)
+	dx := tensor.New(b.origShape...)
+	gamma := b.Gamma.Value.Data
+	dgamma, dbeta := b.Gamma.Grad.Data, b.Beta.Grad.Data
+	for c := 0; c < b.aC; c++ {
+		is := b.invStd[c]
+		sumDxhat, sumDxhatXhat := 0.0, 0.0
+		for s := 0; s < b.batch; s++ {
+			off := s*plane + c*b.hw
+			for j := 0; j < b.hw; j++ {
+				gv := dy.Data[off+j]
+				hv := b.xhat.Data[off+j]
+				dgamma[c] += gv * hv
+				dbeta[c] += gv
+				dxh := gv * gamma[c]
+				sumDxhat += dxh
+				sumDxhatXhat += dxh * hv
+			}
+		}
+		mDxhat := sumDxhat / n
+		mDxhatXhat := sumDxhatXhat / n
+		for s := 0; s < b.batch; s++ {
+			off := s*plane + c*b.hw
+			for j := 0; j < b.hw; j++ {
+				dxh := dy.Data[off+j] * gamma[c]
+				dx.Data[off+j] = is * (dxh - mDxhat - b.xhat.Data[off+j]*mDxhatXhat)
+			}
+		}
+	}
+	return dx
+}
+
+// Params returns γ and β.
+func (b *BatchNorm) Params() []*Param { return []*Param{b.Gamma, b.Beta} }
+
+// SwitchableBatchNorm keeps an independent BatchNorm per scheduled width —
+// the SlimmableNet (Yu et al., 2018) solution to output-scale instability
+// that the paper compares against in Table 1. Context.WidthIdx selects which
+// set of statistics and affine parameters is used for the current pass.
+type SwitchableBatchNorm struct {
+	BNs []*BatchNorm
+	cur int
+}
+
+// NewSwitchableBatchNorm builds one BatchNorm per width in the rate list.
+func NewSwitchableBatchNorm(c int, spec SliceSpec, widths int) *SwitchableBatchNorm {
+	s := &SwitchableBatchNorm{}
+	for i := 0; i < widths; i++ {
+		s.BNs = append(s.BNs, NewBatchNorm(c, spec))
+	}
+	return s
+}
+
+// Forward dispatches to the BatchNorm selected by ctx.WidthIdx.
+func (s *SwitchableBatchNorm) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
+	idx := 0
+	if ctx != nil {
+		idx = ctx.WidthIdx
+	}
+	if idx < 0 || idx >= len(s.BNs) {
+		panic(fmt.Sprintf("nn: SwitchableBatchNorm width index %d out of range [0,%d)", idx, len(s.BNs)))
+	}
+	s.cur = idx
+	return s.BNs[idx].Forward(ctx, x)
+}
+
+// Backward dispatches to the BatchNorm used in the preceding Forward.
+func (s *SwitchableBatchNorm) Backward(ctx *Context, dy *tensor.Tensor) *tensor.Tensor {
+	return s.BNs[s.cur].Backward(ctx, dy)
+}
+
+// Params returns the parameters of every per-width BatchNorm.
+func (s *SwitchableBatchNorm) Params() []*Param {
+	var ps []*Param
+	for _, b := range s.BNs {
+		ps = append(ps, b.Params()...)
+	}
+	return ps
+}

@@ -1,0 +1,35 @@
+package nn
+
+import (
+	"fmt"
+
+	"modelslicing/internal/tensor"
+)
+
+// TimeFlatten reshapes a sequence tensor [T, B, H] into a row matrix
+// [T·B, H], so that a Dense decoder and SoftmaxCrossEntropy can treat every
+// (time step, batch) pair as one prediction row — the standard language-model
+// head layout.
+type TimeFlatten struct {
+	inShape []int
+}
+
+// NewTimeFlatten constructs the reshape layer.
+func NewTimeFlatten() *TimeFlatten { return &TimeFlatten{} }
+
+// Forward flattens the leading two dimensions.
+func (f *TimeFlatten) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
+	if x.Rank() != 3 {
+		panic(fmt.Sprintf("nn: TimeFlatten input %v, want rank 3", x.Shape))
+	}
+	f.inShape = append([]int(nil), x.Shape...)
+	return x.Reshape(x.Dim(0)*x.Dim(1), x.Dim(2))
+}
+
+// Backward restores the [T, B, H] shape.
+func (f *TimeFlatten) Backward(ctx *Context, dy *tensor.Tensor) *tensor.Tensor {
+	return dy.Reshape(f.inShape...)
+}
+
+// Params returns nil; TimeFlatten has no parameters.
+func (f *TimeFlatten) Params() []*Param { return nil }

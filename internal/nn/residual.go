@@ -1,0 +1,63 @@
+package nn
+
+import (
+	"fmt"
+
+	"modelslicing/internal/tensor"
+)
+
+// Residual computes y = Body(x) + Short(x); a nil Short is the identity
+// mapping of ResNet (He et al., 2016). Because model slicing keeps the same
+// slice rate across all layers, the active widths of the body output and the
+// shortcut agree by construction, so identity shortcuts remain valid at every
+// slice rate — the property Section 3.5 builds the group-residual-learning
+// argument on.
+type Residual struct {
+	Body  Layer
+	Short Layer // nil means identity
+
+	x *tensor.Tensor
+}
+
+// NewResidual constructs a residual block.
+func NewResidual(body, short Layer) *Residual { return &Residual{Body: body, Short: short} }
+
+// Forward computes the two branches and sums them.
+func (r *Residual) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
+	r.x = x
+	y := r.Body.Forward(ctx, x)
+	var s *tensor.Tensor
+	if r.Short != nil {
+		s = r.Short.Forward(ctx, x)
+	} else {
+		s = x
+	}
+	if !y.SameShape(s) {
+		panic(fmt.Sprintf("nn: Residual branch shapes differ: body %v vs shortcut %v", y.Shape, s.Shape))
+	}
+	out := y.Clone()
+	out.Add(s)
+	return out
+}
+
+// Backward propagates the gradient through both branches and sums the input
+// gradients.
+func (r *Residual) Backward(ctx *Context, dy *tensor.Tensor) *tensor.Tensor {
+	dx := r.Body.Backward(ctx, dy)
+	if r.Short != nil {
+		ds := r.Short.Backward(ctx, dy)
+		dx.Add(ds)
+	} else {
+		dx.Add(dy)
+	}
+	return dx
+}
+
+// Params returns the parameters of both branches.
+func (r *Residual) Params() []*Param {
+	ps := r.Body.Params()
+	if r.Short != nil {
+		ps = append(ps, r.Short.Params()...)
+	}
+	return ps
+}

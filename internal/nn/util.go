@@ -1,0 +1,65 @@
+package nn
+
+import (
+	"math"
+	"runtime"
+	"sync"
+)
+
+// maxWorkers bounds intra-layer batch parallelism.
+func maxWorkers(n int) int {
+	w := runtime.GOMAXPROCS(0)
+	if w > 4 {
+		w = 4
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// parallelFor runs fn(worker, i) for i in [0, n), partitioned contiguously
+// across workers. Each worker receives a stable worker index so callers can
+// use worker-local scratch buffers without locking.
+func parallelFor(n int, fn func(worker, i int)) {
+	w := maxWorkers(n)
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + w - 1) / w
+	for wk := 0; wk < w; wk++ {
+		lo := wk * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(wk, lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fn(wk, i)
+			}
+		}(wk, lo, hi)
+	}
+	wg.Wait()
+}
+
+func sigmoid(x float64) float64 {
+	// Numerically stable logistic function.
+	if x >= 0 {
+		z := math.Exp(-x)
+		return 1 / (1 + z)
+	}
+	z := math.Exp(x)
+	return z / (1 + z)
+}

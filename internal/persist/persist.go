@@ -1,0 +1,127 @@
+// Package persist saves and loads model parameters in a compact binary
+// checkpoint format (magic + per-parameter name, shape and float64 payload),
+// so trained slicing models can be deployed by cmd/mstrain and the examples.
+package persist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"modelslicing/internal/nn"
+)
+
+const magic = "MSLC0001"
+
+// Save writes the parameters of a model to path.
+func Save(path string, params []*nn.Param) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	if _, err := w.WriteString(magic); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(params))); err != nil {
+		return err
+	}
+	for _, p := range params {
+		if err := writeString(w, p.Name); err != nil {
+			return err
+		}
+		if err := binary.Write(w, binary.LittleEndian, uint32(len(p.Value.Shape))); err != nil {
+			return err
+		}
+		for _, d := range p.Value.Shape {
+			if err := binary.Write(w, binary.LittleEndian, uint32(d)); err != nil {
+				return err
+			}
+		}
+		if err := binary.Write(w, binary.LittleEndian, p.Value.Data); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}
+
+// Load reads a checkpoint into the parameters of a model built with the same
+// architecture (names and shapes must match in order).
+func Load(path string, params []*nn.Param) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(r, head); err != nil {
+		return fmt.Errorf("persist: reading header: %w", err)
+	}
+	if string(head) != magic {
+		return fmt.Errorf("persist: %s is not a model-slicing checkpoint", path)
+	}
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return err
+	}
+	if int(n) != len(params) {
+		return fmt.Errorf("persist: checkpoint has %d params, model has %d", n, len(params))
+	}
+	for i, p := range params {
+		name, err := readString(r)
+		if err != nil {
+			return err
+		}
+		if name != p.Name {
+			return fmt.Errorf("persist: param %d is %q in checkpoint but %q in model", i, name, p.Name)
+		}
+		var rank uint32
+		if err := binary.Read(r, binary.LittleEndian, &rank); err != nil {
+			return err
+		}
+		if int(rank) != len(p.Value.Shape) {
+			return fmt.Errorf("persist: param %q rank mismatch", name)
+		}
+		for j := range p.Value.Shape {
+			var d uint32
+			if err := binary.Read(r, binary.LittleEndian, &d); err != nil {
+				return err
+			}
+			if int(d) != p.Value.Shape[j] {
+				return fmt.Errorf("persist: param %q shape mismatch at dim %d: %d vs %d",
+					name, j, d, p.Value.Shape[j])
+			}
+		}
+		if err := binary.Read(r, binary.LittleEndian, p.Value.Data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeString(w io.Writer, s string) error {
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(s))); err != nil {
+		return err
+	}
+	_, err := w.Write([]byte(s))
+	return err
+}
+
+func readString(r io.Reader) (string, error) {
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return "", err
+	}
+	if n > 1<<20 {
+		return "", fmt.Errorf("persist: implausible string length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}

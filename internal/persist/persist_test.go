@@ -1,0 +1,65 @@
+package persist
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"modelslicing/internal/models"
+	"modelslicing/internal/nn"
+	"modelslicing/internal/tensor"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	src := models.NewMLP(8, []int{16}, 4, 4, rng)
+	path := filepath.Join(t.TempDir(), "ckpt.bin")
+	if err := Save(path, src.Params()); err != nil {
+		t.Fatal(err)
+	}
+	dst := models.NewMLP(8, []int{16}, 4, 4, rand.New(rand.NewSource(99)))
+	if err := Load(path, dst.Params()); err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.New(2, 8)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	want := src.Forward(nn.Eval(1), x)
+	got := dst.Forward(nn.Eval(1), x)
+	for i := range want.Data {
+		if want.Data[i] != got.Data[i] {
+			t.Fatal("loaded model differs from saved model")
+		}
+	}
+}
+
+func TestLoadRejectsWrongArchitecture(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	src := models.NewMLP(8, []int{16}, 4, 4, rng)
+	path := filepath.Join(t.TempDir(), "ckpt.bin")
+	if err := Save(path, src.Params()); err != nil {
+		t.Fatal(err)
+	}
+	other := models.NewMLP(8, []int{32}, 4, 4, rng)
+	if err := Load(path, other.Params()); err == nil {
+		t.Fatal("expected shape-mismatch error")
+	}
+	fewer := models.NewMLP(8, []int{16, 16}, 4, 4, rng)
+	if err := Load(path, fewer.Params()); err == nil {
+		t.Fatal("expected param-count error")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "junk.bin")
+	if err := os.WriteFile(path, []byte("not a checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	m := models.NewMLP(8, []int{16}, 4, 4, rng)
+	if err := Load(path, m.Params()); err == nil {
+		t.Fatal("expected magic-mismatch error")
+	}
+}

@@ -1,0 +1,208 @@
+// Package serving implements the dynamic-workload deployment scheme of
+// Section 4.1: queries arrive as a stream under a latency constraint T; the
+// server builds a mini-batch every T/2 and picks the largest slice rate r
+// satisfying n·r²·t ≤ T/2 (Equation 3), so every query is answered within T
+// and no computational resource sits idle during the processing window.
+package serving
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"modelslicing/internal/slicing"
+)
+
+// Config parameterizes the simulated serving system. All durations are in
+// abstract time units (the simulation is clock-free and deterministic).
+type Config struct {
+	// LatencySLO is T: every query must be answered within this bound.
+	LatencySLO float64
+	// FullSampleTime is t: per-sample inference time of the full model.
+	FullSampleTime float64
+	// Rates are the deployable slice rates.
+	Rates slicing.RateList
+	// CostRatio maps a rate to its relative cost; nil means r² (Equation 3).
+	CostRatio func(r float64) float64
+	// AccuracyAt maps a rate to its measured accuracy, used to report the
+	// quality delivered under load; nil disables quality accounting.
+	AccuracyAt func(r float64) float64
+}
+
+// TickStats records one T/2 scheduling window.
+type TickStats struct {
+	Arrivals   int
+	Rate       float64 // slice rate chosen for the batch
+	WorkTime   float64 // processing time consumed (≤ T/2 unless infeasible)
+	Infeasible bool    // even the lower bound exceeded the window
+}
+
+// Stats aggregates a simulation run.
+type Stats struct {
+	Ticks            []TickStats
+	Processed        int
+	SLOViolations    int
+	RateHist         map[float64]int
+	MeanRate         float64
+	Utilization      float64 // work time / total window time
+	WeightedAccuracy float64 // accuracy averaged over queries at served rates
+	PeakArrivals     int
+	TroughArrivals   int
+}
+
+// Volatility returns peak/trough arrivals — the workload swing the system
+// absorbed (the paper demonstrates up to 16×).
+func (s Stats) Volatility() float64 {
+	if s.TroughArrivals == 0 {
+		return math.Inf(1)
+	}
+	return float64(s.PeakArrivals) / float64(s.TroughArrivals)
+}
+
+// Simulate runs the T/2 batching policy over per-window arrival counts.
+func Simulate(cfg Config, arrivals []int) Stats {
+	if cfg.LatencySLO <= 0 || cfg.FullSampleTime <= 0 {
+		panic(fmt.Sprintf("serving: invalid config %+v", cfg))
+	}
+	costRatio := cfg.CostRatio
+	if costRatio == nil {
+		costRatio = func(r float64) float64 { return r * r }
+	}
+	window := cfg.LatencySLO / 2
+	stats := Stats{RateHist: make(map[float64]int), TroughArrivals: math.MaxInt}
+	sumRateWeighted := 0.0
+	sumAcc := 0.0
+	totalWork := 0.0
+	for _, n := range arrivals {
+		tick := TickStats{Arrivals: n}
+		if n > 0 {
+			// Largest rate with n·cost(r)·t ≤ T/2.
+			budget := window / (float64(n) * cfg.FullSampleTime)
+			r, ok := cfg.Rates.LargestWithin(budget, costRatio)
+			tick.Rate = r
+			tick.Infeasible = !ok
+			tick.WorkTime = float64(n) * costRatio(r) * cfg.FullSampleTime
+			if tick.Infeasible {
+				// The batch overruns the window: every query in it misses
+				// the latency bound.
+				stats.SLOViolations += n
+			}
+			stats.Processed += n
+			stats.RateHist[r] += n
+			sumRateWeighted += r * float64(n)
+			if cfg.AccuracyAt != nil {
+				sumAcc += cfg.AccuracyAt(r) * float64(n)
+			}
+			totalWork += tick.WorkTime
+		}
+		if n > stats.PeakArrivals {
+			stats.PeakArrivals = n
+		}
+		if n < stats.TroughArrivals {
+			stats.TroughArrivals = n
+		}
+		stats.Ticks = append(stats.Ticks, tick)
+	}
+	if stats.Processed > 0 {
+		stats.MeanRate = sumRateWeighted / float64(stats.Processed)
+		if cfg.AccuracyAt != nil {
+			stats.WeightedAccuracy = sumAcc / float64(stats.Processed)
+		}
+	}
+	if len(arrivals) > 0 {
+		stats.Utilization = totalWork / (window * float64(len(arrivals)))
+	}
+	return stats
+}
+
+// DiurnalWorkload generates per-window Poisson arrival counts whose rate
+// follows a day-shaped curve between base and base·peakRatio, with optional
+// short bursts of burstRatio× the current rate — the "peak workload could be
+// 10x higher than the average cases" scenario of the paper's introduction.
+func DiurnalWorkload(windows int, base float64, peakRatio float64, burstProb float64,
+	burstRatio float64, rng *rand.Rand) []int {
+	out := make([]int, windows)
+	for i := range out {
+		phase := 2 * math.Pi * float64(i) / float64(windows)
+		// Raised sinusoid in [1, peakRatio].
+		lambda := base * (1 + (peakRatio-1)*(1-math.Cos(phase))/2)
+		if burstProb > 0 && rng.Float64() < burstProb {
+			lambda *= burstRatio
+		}
+		out[i] = poisson(lambda, rng)
+	}
+	return out
+}
+
+// poisson draws a Poisson sample (Knuth for small λ, normal approx above).
+func poisson(lambda float64, rng *rand.Rand) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda > 30 {
+		v := lambda + math.Sqrt(lambda)*rng.NormFloat64()
+		if v < 0 {
+			return 0
+		}
+		return int(math.Round(v))
+	}
+	l := math.Exp(-lambda)
+	k, p := 0, 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// FixedCapacityBaseline reports how a single fixed-width model of the given
+// rate handles the same arrivals: queries beyond its per-window capacity
+// miss the SLO. This quantifies the paper's motivating trade-off — a model
+// provisioned for the mean workload fails at the peak, one provisioned for
+// the peak wastes resources off-peak.
+func FixedCapacityBaseline(cfg Config, fixedRate float64, arrivals []int) Stats {
+	costRatio := cfg.CostRatio
+	if costRatio == nil {
+		costRatio = func(r float64) float64 { return r * r }
+	}
+	window := cfg.LatencySLO / 2
+	capacity := int(window / (costRatio(fixedRate) * cfg.FullSampleTime))
+	stats := Stats{RateHist: make(map[float64]int), TroughArrivals: math.MaxInt}
+	totalWork := 0.0
+	sumAcc := 0.0
+	for _, n := range arrivals {
+		tick := TickStats{Arrivals: n, Rate: fixedRate}
+		if n > 0 {
+			stats.Processed += n
+			stats.RateHist[fixedRate] += n
+			if n > capacity {
+				stats.SLOViolations += n - capacity
+				tick.Infeasible = true
+			}
+			tick.WorkTime = float64(n) * costRatio(fixedRate) * cfg.FullSampleTime
+			totalWork += tick.WorkTime
+			if cfg.AccuracyAt != nil {
+				sumAcc += cfg.AccuracyAt(fixedRate) * float64(n)
+			}
+		}
+		if n > stats.PeakArrivals {
+			stats.PeakArrivals = n
+		}
+		if n < stats.TroughArrivals {
+			stats.TroughArrivals = n
+		}
+		stats.Ticks = append(stats.Ticks, tick)
+	}
+	if stats.Processed > 0 {
+		stats.MeanRate = fixedRate
+		if cfg.AccuracyAt != nil {
+			stats.WeightedAccuracy = sumAcc / float64(stats.Processed)
+		}
+	}
+	if len(arrivals) > 0 {
+		stats.Utilization = totalWork / (window * float64(len(arrivals)))
+	}
+	return stats
+}

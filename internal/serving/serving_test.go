@@ -1,0 +1,156 @@
+package serving
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"modelslicing/internal/slicing"
+)
+
+func testConfig() Config {
+	return Config{
+		LatencySLO:     100,
+		FullSampleTime: 1,
+		Rates:          slicing.NewRateList(0.25, 4),
+		AccuracyAt: func(r float64) float64 {
+			return 0.9 + 0.05*r // wider → better, synthetic
+		},
+	}
+}
+
+func TestSimulateChoosesEquation3Rates(t *testing.T) {
+	cfg := testConfig()
+	// Window = 50, t = 1. n=50 → budget 1 → rate 1. n=200 → budget 0.25 →
+	// r²≤0.25 → rate 0.5. n=800 → budget 0.0625 → rate 0.25.
+	stats := Simulate(cfg, []int{50, 200, 800})
+	wantRates := []float64{1.0, 0.5, 0.25}
+	for i, w := range wantRates {
+		if stats.Ticks[i].Rate != w {
+			t.Fatalf("tick %d rate %v, want %v", i, stats.Ticks[i].Rate, w)
+		}
+	}
+	if stats.SLOViolations != 0 {
+		t.Fatalf("violations %d, want 0", stats.SLOViolations)
+	}
+	if stats.Processed != 1050 {
+		t.Fatalf("processed %d", stats.Processed)
+	}
+}
+
+func TestSimulateBatchNeverOverrunsWindowWhenFeasible(t *testing.T) {
+	cfg := testConfig()
+	rng := rand.New(rand.NewSource(1))
+	arrivals := DiurnalWorkload(200, 40, 16, 0.05, 2, rng)
+	stats := Simulate(cfg, arrivals)
+	window := cfg.LatencySLO / 2
+	for i, tick := range stats.Ticks {
+		if !tick.Infeasible && tick.WorkTime > window+1e-9 {
+			t.Fatalf("tick %d: feasible batch overran window: %.2f > %.2f", i, tick.WorkTime, window)
+		}
+	}
+}
+
+func TestSimulateInfeasibleCountsViolations(t *testing.T) {
+	cfg := testConfig()
+	// Capacity at the lower bound: 50/(0.0625·1) = 800 samples per window.
+	stats := Simulate(cfg, []int{900})
+	if stats.SLOViolations != 900 {
+		t.Fatalf("violations %d, want the whole overrun batch", stats.SLOViolations)
+	}
+	if !stats.Ticks[0].Infeasible {
+		t.Fatal("tick must be flagged infeasible")
+	}
+}
+
+func TestElasticAbsorbsVolatilityFixedDoesNot(t *testing.T) {
+	cfg := testConfig()
+	rng := rand.New(rand.NewSource(2))
+	// Peak ≈ 640 ≤ 800 lower-bound capacity, trough ≈ 40: 16× volatility.
+	arrivals := DiurnalWorkload(300, 40, 16, 0, 1, rng)
+	elastic := Simulate(cfg, arrivals)
+	if elastic.SLOViolations != 0 {
+		t.Fatalf("elastic serving should absorb the peak, got %d violations", elastic.SLOViolations)
+	}
+	if v := elastic.Volatility(); v < 8 {
+		t.Fatalf("workload volatility %.1f, want ≥8 for a meaningful test", v)
+	}
+	// A full-width fixed model (capacity 50/window) drowns at the peak.
+	fixed := FixedCapacityBaseline(cfg, 1.0, arrivals)
+	if fixed.SLOViolations == 0 {
+		t.Fatal("full-width fixed model should violate the SLO under peak load")
+	}
+	// The elastic system must deliver better accuracy than always running
+	// at the lower bound (which would also meet latency).
+	lb := FixedCapacityBaseline(cfg, 0.25, arrivals)
+	if lb.SLOViolations != 0 {
+		t.Fatal("lower-bound fixed model should be feasible")
+	}
+	if elastic.WeightedAccuracy <= lb.WeightedAccuracy {
+		t.Fatalf("elastic accuracy %.4f must beat always-lower-bound %.4f",
+			elastic.WeightedAccuracy, lb.WeightedAccuracy)
+	}
+}
+
+func TestUtilizationBounded(t *testing.T) {
+	cfg := testConfig()
+	rng := rand.New(rand.NewSource(3))
+	arrivals := DiurnalWorkload(100, 30, 10, 0, 1, rng)
+	stats := Simulate(cfg, arrivals)
+	if stats.Utilization <= 0 || stats.Utilization > 1.0001 {
+		t.Fatalf("utilization %v out of (0,1]", stats.Utilization)
+	}
+}
+
+func TestDiurnalWorkloadShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	arrivals := DiurnalWorkload(240, 50, 10, 0, 1, rng)
+	if len(arrivals) != 240 {
+		t.Fatalf("windows %d", len(arrivals))
+	}
+	peak, trough := 0, math.MaxInt
+	for _, n := range arrivals {
+		if n > peak {
+			peak = n
+		}
+		if n < trough {
+			trough = n
+		}
+	}
+	ratio := float64(peak) / math.Max(float64(trough), 1)
+	if ratio < 5 || ratio > 25 {
+		t.Fatalf("peak/trough ratio %.1f, want ≈10 (±Poisson noise)", ratio)
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, lambda := range []float64{3, 50} {
+		sum := 0
+		n := 3000
+		for i := 0; i < n; i++ {
+			sum += poisson(lambda, rng)
+		}
+		mean := float64(sum) / float64(n)
+		if math.Abs(mean-lambda) > lambda*0.1 {
+			t.Fatalf("poisson(%v) empirical mean %v", lambda, mean)
+		}
+	}
+}
+
+func TestRateHistogramCoversWorkload(t *testing.T) {
+	cfg := testConfig()
+	rng := rand.New(rand.NewSource(6))
+	arrivals := DiurnalWorkload(300, 40, 16, 0, 1, rng)
+	stats := Simulate(cfg, arrivals)
+	if len(stats.RateHist) < 3 {
+		t.Fatalf("a 16× workload should exercise ≥3 rates, got %v", stats.RateHist)
+	}
+	total := 0
+	for _, n := range stats.RateHist {
+		total += n
+	}
+	if total != stats.Processed {
+		t.Fatalf("histogram total %d != processed %d", total, stats.Processed)
+	}
+}

@@ -1,0 +1,188 @@
+package slicing
+
+import (
+	"fmt"
+	"math/rand"
+
+	"modelslicing/internal/nn"
+)
+
+// Extract builds a standalone copy of the sub-network at slice rate r: a
+// model whose full width equals the parent's active width, with the prefix
+// weights copied (and any rescale factors baked into the weights). The
+// extracted subnet computes exactly the same function as the parent sliced
+// at r, but its parameter and run-time memory footprint is that of the small
+// model — the deployment story of Section 3.1 ("a subnet can be readily
+// sliced and deployed out of the network trained with model slicing").
+//
+// rates supplies the width index for layers with per-width state
+// (SwitchableBatchNorm). Extract panics on layer types it does not know.
+func Extract(layer nn.Layer, r float64, rates RateList) nn.Layer {
+	// The extractor never uses randomness; initializers run on throwaway
+	// buffers that are immediately overwritten.
+	rng := rand.New(rand.NewSource(0))
+	switch l := layer.(type) {
+	case *nn.Sequential:
+		out := &nn.Sequential{}
+		for _, inner := range l.Layers {
+			out.Layers = append(out.Layers, Extract(inner, r, rates))
+		}
+		return out
+
+	case *nn.Residual:
+		var short nn.Layer
+		if l.Short != nil {
+			short = Extract(l.Short, r, rates)
+		}
+		return nn.NewResidual(Extract(l.Body, r, rates), short)
+
+	case *nn.Dense:
+		aIn, aOut := l.Active(r)
+		d := nn.NewDense(aIn, aOut, nn.Fixed(), nn.Fixed(), l.B != nil, rng)
+		scale := 1.0
+		if l.Rescale && aIn < l.In {
+			scale = float64(l.In) / float64(aIn)
+		}
+		for o := 0; o < aOut; o++ {
+			src := l.W.Value.Row(o)[:aIn]
+			dst := d.W.Value.Row(o)
+			for j, v := range src {
+				dst[j] = v * scale
+			}
+			if l.B != nil {
+				d.B.Value.Data[o] = l.B.Value.Data[o]
+			}
+		}
+		return d
+
+	case *nn.Conv2D:
+		aIn, aOut := l.Active(r)
+		c := nn.NewConv2D(aIn, aOut, l.KH, l.KW, l.Stride, l.Pad, nn.Fixed(), nn.Fixed(), l.B != nil, rng)
+		cols := aIn * l.KH * l.KW
+		for o := 0; o < aOut; o++ {
+			copy(c.W.Value.Row(o), l.W.Value.Row(o)[:cols])
+			if l.B != nil {
+				c.B.Value.Data[o] = l.B.Value.Data[o]
+			}
+		}
+		return c
+
+	case *nn.GroupNorm:
+		aC := l.Spec.Active(r, l.C)
+		gs := l.C / l.NormGroups
+		g := nn.NewGroupNorm(aC, aC/gs, nn.Fixed(), l.Eps)
+		copy(g.Gamma.Value.Data, l.Gamma.Value.Data[:aC])
+		copy(g.Beta.Value.Data, l.Beta.Value.Data[:aC])
+		return g
+
+	case *nn.BatchNorm:
+		aC := l.Spec.Active(r, l.C)
+		b := nn.NewBatchNorm(aC, nn.Fixed())
+		b.Eps, b.Momentum = l.Eps, l.Momentum
+		copy(b.Gamma.Value.Data, l.Gamma.Value.Data[:aC])
+		copy(b.Beta.Value.Data, l.Beta.Value.Data[:aC])
+		copy(b.RunMean.Data, l.RunMean.Data[:aC])
+		copy(b.RunVar.Data, l.RunVar.Data[:aC])
+		return b
+
+	case *nn.SwitchableBatchNorm:
+		idx := rates.MustIndex(rates.Nearest(r))
+		return Extract(l.BNs[idx], r, rates)
+
+	case *nn.LSTM:
+		aIn, aH := l.Active(r)
+		out := nn.NewLSTM(aIn, aH, nn.Fixed(), nn.Fixed(), false, rng)
+		scaleX, scaleH := 1.0, 1.0
+		if l.Rescale {
+			if aIn < l.In {
+				scaleX = float64(l.In) / float64(aIn)
+			}
+			if aH < l.Hidden {
+				scaleH = float64(l.Hidden) / float64(aH)
+			}
+		}
+		copyGateBlocks(4, aH, aIn, l.Hidden, out.Wx.Value.Data, l.Wx.Value.Data, l.In, scaleX)
+		copyGateBlocks(4, aH, aH, l.Hidden, out.Wh.Value.Data, l.Wh.Value.Data, l.Hidden, scaleH)
+		for k := 0; k < 4; k++ {
+			copy(out.B.Value.Data[k*aH:(k+1)*aH], l.B.Value.Data[k*l.Hidden:k*l.Hidden+aH])
+		}
+		return out
+
+	case *nn.GRU:
+		aIn, aH := l.Active(r)
+		out := nn.NewGRU(aIn, aH, nn.Fixed(), nn.Fixed(), false, rng)
+		scaleX, scaleH := 1.0, 1.0
+		if l.Rescale {
+			if aIn < l.In {
+				scaleX = float64(l.In) / float64(aIn)
+			}
+			if aH < l.Hidden {
+				scaleH = float64(l.Hidden) / float64(aH)
+			}
+		}
+		copyGateBlocks(3, aH, aIn, l.Hidden, out.Wx.Value.Data, l.Wx.Value.Data, l.In, scaleX)
+		copyGateBlocks(3, aH, aH, l.Hidden, out.Wh.Value.Data, l.Wh.Value.Data, l.Hidden, scaleH)
+		for k := 0; k < 3; k++ {
+			copy(out.Bx.Value.Data[k*aH:(k+1)*aH], l.Bx.Value.Data[k*l.Hidden:k*l.Hidden+aH])
+			copy(out.Bh.Value.Data[k*aH:(k+1)*aH], l.Bh.Value.Data[k*l.Hidden:k*l.Hidden+aH])
+		}
+		return out
+
+	case *nn.RNN:
+		aIn, aH := l.Active(r)
+		out := nn.NewRNN(aIn, aH, nn.Fixed(), nn.Fixed(), false, rng)
+		scaleX, scaleH := 1.0, 1.0
+		if l.Rescale {
+			if aIn < l.In {
+				scaleX = float64(l.In) / float64(aIn)
+			}
+			if aH < l.Hidden {
+				scaleH = float64(l.Hidden) / float64(aH)
+			}
+		}
+		copyGateBlocks(1, aH, aIn, l.Hidden, out.Wx.Value.Data, l.Wx.Value.Data, l.In, scaleX)
+		copyGateBlocks(1, aH, aH, l.Hidden, out.Wh.Value.Data, l.Wh.Value.Data, l.Hidden, scaleH)
+		copy(out.B.Value.Data, l.B.Value.Data[:aH])
+		return out
+
+	case *nn.Embedding:
+		out := nn.NewEmbedding(l.V, l.E, rng)
+		copy(out.W.Value.Data, l.W.Value.Data)
+		return out
+
+	case *nn.ReLU:
+		return nn.NewReLU()
+	case *nn.Dropout:
+		return nn.NewDropout(l.P)
+	case *nn.MaxPool2D:
+		return nn.NewMaxPool2D(l.K, l.Stride)
+	case *nn.GlobalAvgPool:
+		return nn.NewGlobalAvgPool()
+	case *nn.Flatten:
+		return nn.NewFlatten()
+	case *nn.TimeFlatten:
+		return nn.NewTimeFlatten()
+
+	default:
+		panic(fmt.Sprintf("slicing: Extract does not support layer type %T", layer))
+	}
+}
+
+// copyGateBlocks copies, for each of nGates stacked [hidden × srcLD] blocks,
+// the leading aRows×aCols sub-matrix into a [nGates·aRows × aCols]
+// destination, scaling values by scale.
+func copyGateBlocks(nGates, aRows, aCols, hidden int, dst, src []float64, srcLD int, scale float64) {
+	for k := 0; k < nGates; k++ {
+		for row := 0; row < aRows; row++ {
+			s := src[(k*hidden+row)*srcLD : (k*hidden+row)*srcLD+aCols]
+			d := dst[(k*aRows+row)*aCols : (k*aRows+row+1)*aCols]
+			if scale == 1 {
+				copy(d, s)
+			} else {
+				for j, v := range s {
+					d[j] = v * scale
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package slicing
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewRateListGranularity(t *testing.T) {
+	l := NewRateList(0.375, 8)
+	want := []float64{0.375, 0.5, 0.625, 0.75, 0.875, 1.0}
+	if len(l) != len(want) {
+		t.Fatalf("rate list %v, want %v", l, want)
+	}
+	for i := range want {
+		if math.Abs(l[i]-want[i]) > 1e-12 {
+			t.Fatalf("rate list %v, want %v", l, want)
+		}
+	}
+	l4 := NewRateList(0.25, 4)
+	if len(l4) != 4 || l4[0] != 0.25 || l4[3] != 1.0 {
+		t.Fatalf("quarter list %v", l4)
+	}
+	l16 := NewRateList(0.25, 16)
+	if len(l16) != 13 {
+		t.Fatalf("1/16 granularity list has %d rates, want 13", len(l16))
+	}
+}
+
+func TestNewRateListRejectsBadArgs(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewRateList(0, 4) },
+		func() { NewRateList(1.5, 4) },
+		func() { NewRateList(0.5, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestRateListValidate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-ascending list")
+		}
+	}()
+	RateList{0.5, 0.25, 1.0}.Validate()
+}
+
+func TestRateListIndexAndNearest(t *testing.T) {
+	l := NewRateList(0.25, 4)
+	if i := l.MustIndex(0.75); i != 2 {
+		t.Fatalf("index of 0.75 = %d", i)
+	}
+	if _, err := l.Index(0.33); err == nil {
+		t.Fatal("expected error for non-member rate")
+	}
+	if n := l.Nearest(0.6); n != 0.5 {
+		t.Fatalf("nearest(0.6) = %v", n)
+	}
+	if n := l.Nearest(0.9); n != 1.0 {
+		t.Fatalf("nearest(0.9) = %v", n)
+	}
+}
+
+func TestBudgetRateEquation3(t *testing.T) {
+	l := NewRateList(0.25, 4)
+	// Ct/C0 = 0.25 → √ = 0.5 → rate 0.5.
+	if r := l.BudgetRate(25, 100); r != 0.5 {
+		t.Fatalf("BudgetRate(0.25) = %v, want 0.5", r)
+	}
+	// Just below the quadratic boundary must drop a step.
+	if r := l.BudgetRate(24, 100); r != 0.25 {
+		t.Fatalf("BudgetRate(0.24) = %v, want 0.25", r)
+	}
+	// Ample budget → full network.
+	if r := l.BudgetRate(1000, 100); r != 1.0 {
+		t.Fatalf("BudgetRate(10) = %v, want 1.0", r)
+	}
+	// Impossible budget falls back to the lower bound.
+	if r := l.BudgetRate(1, 100); r != 0.25 {
+		t.Fatalf("BudgetRate(0.01) = %v, want 0.25", r)
+	}
+}
+
+func TestLargestWithin(t *testing.T) {
+	l := NewRateList(0.25, 4)
+	quad := func(r float64) float64 { return r * r * 100 }
+	r, ok := l.LargestWithin(30, quad)
+	if !ok || r != 0.5 {
+		t.Fatalf("LargestWithin(30) = %v,%v", r, ok)
+	}
+	r, ok = l.LargestWithin(1, quad)
+	if ok || r != 0.25 {
+		t.Fatalf("LargestWithin(1) = %v,%v, want lower-bound fallback", r, ok)
+	}
+}

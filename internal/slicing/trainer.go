@@ -1,0 +1,136 @@
+package slicing
+
+import (
+	"fmt"
+	"math/rand"
+
+	"modelslicing/internal/nn"
+	"modelslicing/internal/tensor"
+	"modelslicing/internal/train"
+)
+
+// Trainer runs Algorithm 1 of the paper: per batch it draws the slice-rate
+// list Lt from the scheduling scheme, forwards and backwards the
+// corresponding sub-networks on the shared parameters, accumulates their
+// gradients, and applies a single optimizer update.
+type Trainer struct {
+	Model nn.Layer
+	Rates RateList
+	Sched Scheduler
+	Opt   *train.SGD
+	// ClipNorm, when positive, clips the global gradient norm before the
+	// update (used by the NNLM recipe).
+	ClipNorm float64
+	RNG      *rand.Rand
+}
+
+// NewTrainer constructs a trainer; the rate list is validated once here.
+func NewTrainer(model nn.Layer, rates RateList, sched Scheduler, opt *train.SGD, rng *rand.Rand) *Trainer {
+	rates.Validate()
+	return &Trainer{Model: model, Rates: rates, Sched: sched, Opt: opt, RNG: rng}
+}
+
+// StepStats reports the losses of one Algorithm-1 step.
+type StepStats struct {
+	// Rates holds the scheduled list Lt in training order.
+	Rates []float64
+	// Losses holds the sub-network loss for each scheduled rate.
+	Losses []float64
+}
+
+// MeanLoss returns the mean loss across the scheduled sub-networks.
+func (s StepStats) MeanLoss() float64 {
+	if len(s.Losses) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, l := range s.Losses {
+		sum += l
+	}
+	return sum / float64(len(s.Losses))
+}
+
+// widthIdx maps a scheduled rate to its position in the rate list (for
+// layers that keep per-width state); unlisted rates map to 0.
+func (t *Trainer) widthIdx(r float64) int {
+	if i, err := t.Rates.Index(r); err == nil {
+		return i
+	}
+	return 0
+}
+
+// Step performs one training step on the batch.
+func (t *Trainer) Step(b train.Batch) StepStats {
+	lt := t.Sched.Next(t.RNG)
+	if len(lt) == 0 {
+		panic("slicing: scheduler returned an empty rate list")
+	}
+	stats := StepStats{Rates: lt}
+	for _, r := range lt {
+		ctx := &nn.Context{Training: true, Rate: r, WidthIdx: t.widthIdx(r), RNG: t.RNG}
+		logits := t.Model.Forward(ctx, b.X)
+		loss, dy := nn.SoftmaxCrossEntropy(logits, b.Labels)
+		t.Model.Backward(ctx, dy)
+		stats.Losses = append(stats.Losses, loss)
+	}
+	params := t.Model.Params()
+	// Algorithm 1 accumulates sub-network gradients; we normalize the sum by
+	// |Lt| (equivalently, optimize the mean of the sub-network losses) so
+	// the effective step size does not grow with the number of scheduled
+	// subnets and one learning rate works across scheduling schemes.
+	if n := len(lt); n > 1 {
+		inv := 1 / float64(n)
+		for _, p := range params {
+			p.Grad.Scale(inv)
+		}
+	}
+	if t.ClipNorm > 0 {
+		train.ClipGradNorm(params, t.ClipNorm)
+	}
+	t.Opt.Step(params)
+	return stats
+}
+
+// Epoch runs one pass over the batches and returns the mean step loss.
+func (t *Trainer) Epoch(batches []train.Batch) float64 {
+	if len(batches) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, b := range batches {
+		total += t.Step(b).MeanLoss()
+	}
+	return total / float64(len(batches))
+}
+
+// Predict runs an inference pass at slice rate r and returns the logits.
+func Predict(model nn.Layer, rates RateList, r float64, x *tensor.Tensor) *tensor.Tensor {
+	idx := 0
+	if i, err := rates.Index(r); err == nil {
+		idx = i
+	}
+	ctx := &nn.Context{Training: false, Rate: r, WidthIdx: idx}
+	return model.Forward(ctx, x)
+}
+
+// EvaluateAll evaluates the model at every rate in the list and returns the
+// results in rate order — one row of Tables 2 and 4.
+func EvaluateAll(model nn.Layer, rates RateList, batches []train.Batch) []train.EvalResult {
+	out := make([]train.EvalResult, len(rates))
+	for i, r := range rates {
+		out[i] = train.Evaluate(model, r, i, batches)
+	}
+	return out
+}
+
+// String renders a rate list compactly for reports.
+func (l RateList) String() string {
+	s := "["
+	for i, r := range l {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%.4g", r)
+	}
+	return s + "]"
+}

@@ -1,0 +1,130 @@
+package tensor
+
+import "fmt"
+
+// The GEMM kernels below operate on raw row-major slices so that layers can
+// address sliced (prefix) sub-matrices of larger weight buffers without
+// copying. All kernels accumulate into the destination (C += ...), which is
+// what gradient accumulation across scheduled subnets needs; callers zero the
+// destination when plain assignment is wanted.
+//
+// ld* are leading dimensions (row strides) of the underlying buffers, which
+// may exceed the logical number of columns when a prefix slice of a wider
+// matrix is being used.
+
+// Gemm computes C[m×n] += A[m×k] · B[k×n].
+func Gemm(m, n, k int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
+	checkMat("Gemm A", m, k, lda, len(a))
+	checkMat("Gemm B", k, n, ldb, len(b))
+	checkMat("Gemm C", m, n, ldc, len(c))
+	for i := 0; i < m; i++ {
+		ci := c[i*ldc : i*ldc+n]
+		ai := a[i*lda : i*lda+k]
+		for p := 0; p < k; p++ {
+			av := ai[p]
+			if av == 0 {
+				continue
+			}
+			bp := b[p*ldb : p*ldb+n]
+			for j, bv := range bp {
+				ci[j] += av * bv
+			}
+		}
+	}
+}
+
+// GemmTA computes C[m×n] += Aᵀ · B where A is stored as [k×m].
+func GemmTA(m, n, k int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
+	checkMat("GemmTA A", k, m, lda, len(a))
+	checkMat("GemmTA B", k, n, ldb, len(b))
+	checkMat("GemmTA C", m, n, ldc, len(c))
+	for p := 0; p < k; p++ {
+		ap := a[p*lda : p*lda+m]
+		bp := b[p*ldb : p*ldb+n]
+		for i, av := range ap {
+			if av == 0 {
+				continue
+			}
+			ci := c[i*ldc : i*ldc+n]
+			for j, bv := range bp {
+				ci[j] += av * bv
+			}
+		}
+	}
+}
+
+// GemmTB computes C[m×n] += A · Bᵀ where B is stored as [n×k].
+func GemmTB(m, n, k int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
+	checkMat("GemmTB A", m, k, lda, len(a))
+	checkMat("GemmTB B", n, k, ldb, len(b))
+	checkMat("GemmTB C", m, n, ldc, len(c))
+	for i := 0; i < m; i++ {
+		ai := a[i*lda : i*lda+k]
+		ci := c[i*ldc : i*ldc+n]
+		for j := 0; j < n; j++ {
+			bj := b[j*ldb : j*ldb+k]
+			s := 0.0
+			for p, av := range ai {
+				s += av * bj[p]
+			}
+			ci[j] += s
+		}
+	}
+}
+
+// MatVec computes y[m] += A[m×k] · x[k].
+func MatVec(m, k int, a []float64, lda int, x, y []float64) {
+	if len(x) < k || len(y) < m {
+		panic(fmt.Sprintf("tensor: MatVec operand too short (m=%d k=%d |x|=%d |y|=%d)", m, k, len(x), len(y)))
+	}
+	for i := 0; i < m; i++ {
+		ai := a[i*lda : i*lda+k]
+		s := 0.0
+		for p, av := range ai {
+			s += av * x[p]
+		}
+		y[i] += s
+	}
+}
+
+// MatTVec computes y[k] += Aᵀ · x where A is stored as [m×k].
+func MatTVec(m, k int, a []float64, lda int, x, y []float64) {
+	if len(x) < m || len(y) < k {
+		panic(fmt.Sprintf("tensor: MatTVec operand too short (m=%d k=%d |x|=%d |y|=%d)", m, k, len(x), len(y)))
+	}
+	for i := 0; i < m; i++ {
+		xv := x[i]
+		if xv == 0 {
+			continue
+		}
+		ai := a[i*lda : i*lda+k]
+		for p, av := range ai {
+			y[p] += xv * av
+		}
+	}
+}
+
+// OuterAcc computes A[m×k] += x[m] ⊗ y[k] (rank-1 update).
+func OuterAcc(m, k int, a []float64, lda int, x, y []float64) {
+	for i := 0; i < m; i++ {
+		xv := x[i]
+		if xv == 0 {
+			continue
+		}
+		ai := a[i*lda : i*lda+k]
+		for p, yv := range y[:k] {
+			ai[p] += xv * yv
+		}
+	}
+}
+
+// checkMat validates that a rows×cols matrix with leading dimension ld fits
+// inside a buffer of the given length.
+func checkMat(name string, rows, cols, ld, length int) {
+	if ld < cols {
+		panic(fmt.Sprintf("tensor: %s leading dimension %d < cols %d", name, ld, cols))
+	}
+	if rows > 0 && (rows-1)*ld+cols > length {
+		panic(fmt.Sprintf("tensor: %s buffer too short: need %d, have %d", name, (rows-1)*ld+cols, length))
+	}
+}

@@ -1,0 +1,82 @@
+package tensor
+
+// Im2Col unrolls one image of shape [channels, h, w] (row-major in src) into
+// a column matrix col of shape [(channels*kh*kw) × (outH*outW)], so that a
+// convolution becomes a single GEMM with the kernel matrix
+// [outChannels × (channels*kh*kw)].
+//
+// Slicing-aware layers pass only the active prefix of channels; src must hold
+// at least channels*h*w values and col at least channels*kh*kw*outH*outW.
+func Im2Col(src []float64, channels, h, w, kh, kw, stride, pad int, col []float64) (outH, outW int) {
+	outH = (h+2*pad-kh)/stride + 1
+	outW = (w+2*pad-kw)/stride + 1
+	spatial := outH * outW
+	idx := 0
+	for c := 0; c < channels; c++ {
+		plane := src[c*h*w : (c+1)*h*w]
+		for ki := 0; ki < kh; ki++ {
+			for kj := 0; kj < kw; kj++ {
+				for oy := 0; oy < outH; oy++ {
+					iy := oy*stride - pad + ki
+					rowBase := idx*spatial + oy*outW
+					if iy < 0 || iy >= h {
+						for ox := 0; ox < outW; ox++ {
+							col[rowBase+ox] = 0
+						}
+						continue
+					}
+					srcRow := plane[iy*w : (iy+1)*w]
+					for ox := 0; ox < outW; ox++ {
+						ix := ox*stride - pad + kj
+						if ix < 0 || ix >= w {
+							col[rowBase+ox] = 0
+						} else {
+							col[rowBase+ox] = srcRow[ix]
+						}
+					}
+				}
+				idx++
+			}
+		}
+	}
+	return outH, outW
+}
+
+// Col2Im is the adjoint of Im2Col: it scatter-adds the column matrix back
+// into an image gradient of shape [channels, h, w]. dst is accumulated into,
+// not overwritten.
+func Col2Im(col []float64, channels, h, w, kh, kw, stride, pad int, dst []float64) {
+	outH := (h+2*pad-kh)/stride + 1
+	outW := (w+2*pad-kw)/stride + 1
+	spatial := outH * outW
+	idx := 0
+	for c := 0; c < channels; c++ {
+		plane := dst[c*h*w : (c+1)*h*w]
+		for ki := 0; ki < kh; ki++ {
+			for kj := 0; kj < kw; kj++ {
+				for oy := 0; oy < outH; oy++ {
+					iy := oy*stride - pad + ki
+					if iy < 0 || iy >= h {
+						continue
+					}
+					rowBase := idx*spatial + oy*outW
+					dstRow := plane[iy*w : (iy+1)*w]
+					for ox := 0; ox < outW; ox++ {
+						ix := ox*stride - pad + kj
+						if ix < 0 || ix >= w {
+							continue
+						}
+						dstRow[ix] += col[rowBase+ox]
+					}
+				}
+				idx++
+			}
+		}
+	}
+}
+
+// ConvOutSize returns the spatial output size of a convolution/pooling with
+// the given input size, kernel, stride and padding.
+func ConvOutSize(in, kernel, stride, pad int) int {
+	return (in+2*pad-kernel)/stride + 1
+}

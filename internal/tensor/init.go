@@ -1,0 +1,34 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+)
+
+// InitUniform fills t with samples from U(-a, a).
+func InitUniform(t *Tensor, a float64, rng *rand.Rand) {
+	for i := range t.Data {
+		t.Data[i] = (rng.Float64()*2 - 1) * a
+	}
+}
+
+// InitNormal fills t with samples from N(0, std²).
+func InitNormal(t *Tensor, std float64, rng *rand.Rand) {
+	for i := range t.Data {
+		t.Data[i] = rng.NormFloat64() * std
+	}
+}
+
+// InitXavier fills t with the Glorot uniform initialization for a layer with
+// the given fan-in and fan-out.
+func InitXavier(t *Tensor, fanIn, fanOut int, rng *rand.Rand) {
+	a := math.Sqrt(6.0 / float64(fanIn+fanOut))
+	InitUniform(t, a, rng)
+}
+
+// InitHe fills t with the Kaiming normal initialization (ReLU gain) for a
+// layer with the given fan-in.
+func InitHe(t *Tensor, fanIn int, rng *rand.Rand) {
+	std := math.Sqrt(2.0 / float64(fanIn))
+	InitNormal(t, std, rng)
+}

@@ -1,0 +1,57 @@
+package train
+
+import "fmt"
+
+// History records per-epoch evaluation at a set of slice rates, backing the
+// learning-curve reproduction (Figure 7) and the γ-evolution heat map
+// (Figure 6).
+type History struct {
+	Rates  []float64
+	Epochs []EpochRecord
+}
+
+// EpochRecord is the evaluation snapshot of one epoch.
+type EpochRecord struct {
+	Epoch     int
+	TrainLoss float64
+	// PerRate holds one evaluation per rate in History.Rates order.
+	PerRate []EvalResult
+	// GammaGroups optionally records per-layer γ group means (Figure 6);
+	// keyed by a caller-chosen layer label.
+	GammaGroups map[string][]float64
+}
+
+// NewHistory constructs a history for the given evaluation rates.
+func NewHistory(rates []float64) *History {
+	return &History{Rates: append([]float64(nil), rates...)}
+}
+
+// Append adds an epoch record.
+func (h *History) Append(rec EpochRecord) { h.Epochs = append(h.Epochs, rec) }
+
+// Series returns the per-epoch values of metric for the i-th rate.
+func (h *History) Series(i int, metric func(EvalResult) float64) []float64 {
+	out := make([]float64, len(h.Epochs))
+	for e, rec := range h.Epochs {
+		out[e] = metric(rec.PerRate[i])
+	}
+	return out
+}
+
+// Final returns the last epoch's evaluation for the i-th rate.
+func (h *History) Final(i int) EvalResult {
+	if len(h.Epochs) == 0 {
+		return EvalResult{}
+	}
+	return h.Epochs[len(h.Epochs)-1].PerRate[i]
+}
+
+// RateIndex returns the index of rate r in the history, or an error.
+func (h *History) RateIndex(r float64) (int, error) {
+	for i, v := range h.Rates {
+		if v == r {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("train: rate %v not tracked (have %v)", r, h.Rates)
+}

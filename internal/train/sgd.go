@@ -1,0 +1,96 @@
+// Package train provides optimizers, learning-rate schedules, evaluation
+// metrics and training-history recording shared by the conventional and
+// model-slicing training loops.
+package train
+
+import (
+	"math"
+
+	"modelslicing/internal/nn"
+	"modelslicing/internal/tensor"
+)
+
+// Batch is one mini-batch of supervised data. X is the model input (images
+// [B,C,H,W] or token ids [T,B]); Labels are the target class indices aligned
+// with the rows of the model's logits output.
+type Batch struct {
+	X      *tensor.Tensor
+	Labels []int
+}
+
+// SGD is stochastic gradient descent with momentum and decoupled-style L2
+// weight decay (decay added to the gradient, the classic formulation used by
+// the paper's training recipes).
+type SGD struct {
+	LR          float64
+	Momentum    float64
+	WeightDecay float64
+	// Nesterov enables Nesterov momentum.
+	Nesterov bool
+
+	vel map[*nn.Param]*tensor.Tensor
+}
+
+// NewSGD constructs an SGD optimizer.
+func NewSGD(lr, momentum, weightDecay float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, WeightDecay: weightDecay,
+		vel: make(map[*nn.Param]*tensor.Tensor)}
+}
+
+// Step applies one update to every parameter from its accumulated gradient
+// and zeroes the gradients.
+func (s *SGD) Step(params []*nn.Param) {
+	for _, p := range params {
+		g := p.Grad
+		if s.WeightDecay != 0 && p.Decay {
+			g.AddScaled(s.WeightDecay, p.Value)
+		}
+		if s.Momentum != 0 {
+			v, ok := s.vel[p]
+			if !ok {
+				v = tensor.New(p.Value.Shape...)
+				s.vel[p] = v
+			}
+			v.Scale(s.Momentum)
+			v.Add(g)
+			if s.Nesterov {
+				// Update uses g + momentum*v.
+				for i := range p.Value.Data {
+					p.Value.Data[i] -= s.LR * (g.Data[i] + s.Momentum*v.Data[i])
+				}
+			} else {
+				p.Value.AddScaled(-s.LR, v)
+			}
+		} else {
+			p.Value.AddScaled(-s.LR, g)
+		}
+		p.ZeroGrad()
+	}
+}
+
+// ZeroGrad clears all parameter gradients.
+func ZeroGrad(params []*nn.Param) {
+	for _, p := range params {
+		p.ZeroGrad()
+	}
+}
+
+// ClipGradNorm rescales all gradients so their global L2 norm does not
+// exceed maxNorm, and returns the pre-clip norm. Standard for LSTM language
+// models (the NNLM experiments).
+func ClipGradNorm(params []*nn.Param, maxNorm float64) float64 {
+	total := 0.0
+	for _, p := range params {
+		for _, v := range p.Grad.Data {
+			total += v * v
+		}
+	}
+	norm := math.Sqrt(total)
+	if norm > maxNorm && norm > 0 {
+		scale := maxNorm / norm
+		for _, p := range params {
+			p.Grad.Scale(scale)
+		}
+	}
+	return norm
+}

@@ -1,0 +1,133 @@
+// Package modelslicing is a from-scratch Go reproduction of "Model Slicing
+// for Supporting Complex Analytics with Elastic Inference Cost and Resource
+// Constraints" (Cai, Chen, Ooi, Gao — PVLDB 13(2), 2019).
+//
+// Model slicing trains a single neural network whose layers are divided into
+// ordered groups of components; a scalar slice rate r ∈ (0,1] selects the
+// leading groups of every layer at inference time, so one trained model
+// serves predictions at many cost points — computation, memory and
+// parameters all shrink ≈ quadratically with r (Equation 3 of the paper).
+//
+// This root package is the public facade over the internal engine:
+//
+//   - build slicing-ready models (MLP, VGG, ResNet, NNLM) or compose layers
+//     from the nn building blocks,
+//   - train them with Algorithm 1 via Trainer and a slice-rate Scheduler,
+//   - serve at any rate with Predict, resolve budgets with BudgetRate,
+//   - extract standalone deployable subnets with Extract,
+//   - measure cost with MeasureCost.
+//
+// See examples/ for runnable programs and DESIGN.md for the architecture.
+package modelslicing
+
+import (
+	"math/rand"
+
+	"modelslicing/internal/cost"
+	"modelslicing/internal/nn"
+	"modelslicing/internal/slicing"
+	"modelslicing/internal/tensor"
+	"modelslicing/internal/train"
+)
+
+// Re-exported core types. The aliases expose the internal engine's types
+// directly so the facade adds no wrapping overhead.
+type (
+	// Tensor is a dense row-major float64 tensor.
+	Tensor = tensor.Tensor
+	// Layer is the forward/backward unit of composition.
+	Layer = nn.Layer
+	// Context carries training mode and the slice rate through a pass.
+	Context = nn.Context
+	// Param is a learnable parameter with its gradient.
+	Param = nn.Param
+	// RateList is the ordered list of valid slice rates.
+	RateList = slicing.RateList
+	// Scheduler draws the slice-rate list Lt per training pass.
+	Scheduler = slicing.Scheduler
+	// Trainer runs the Algorithm-1 training loop.
+	Trainer = slicing.Trainer
+	// SGD is stochastic gradient descent with momentum and weight decay.
+	SGD = train.SGD
+	// Batch is one supervised mini-batch.
+	Batch = train.Batch
+	// EvalResult aggregates evaluation over a dataset.
+	EvalResult = train.EvalResult
+)
+
+// NewTensor allocates a zero tensor of the given shape.
+func NewTensor(shape ...int) *Tensor { return tensor.New(shape...) }
+
+// NewRateList builds slice rates from lb to 1.0 in steps of 1/granularity.
+func NewRateList(lb float64, granularity int) RateList {
+	return slicing.NewRateList(lb, granularity)
+}
+
+// NewTrainer constructs an Algorithm-1 trainer.
+func NewTrainer(model Layer, rates RateList, sched Scheduler, opt *SGD, rng *rand.Rand) *Trainer {
+	return slicing.NewTrainer(model, rates, sched, opt, rng)
+}
+
+// NewSGD constructs an SGD optimizer.
+func NewSGD(lr, momentum, weightDecay float64) *SGD {
+	return train.NewSGD(lr, momentum, weightDecay)
+}
+
+// Scheduling schemes of Section 3.4.
+var (
+	// NewRandomUniform samples k rates uniformly per pass.
+	NewRandomUniform = slicing.NewRandomUniform
+	// NewRandomWeighted samples k rates from explicit importance weights.
+	NewRandomWeighted = slicing.NewRandomWeighted
+	// NewRMinMax pins the base and full network and samples one more rate —
+	// the scheme the paper recommends for larger datasets.
+	NewRMinMax = slicing.NewRMinMax
+	// NewRMin pins the base network only.
+	NewRMin = slicing.NewRMin
+	// NewRMax pins the full network only.
+	NewRMax = slicing.NewRMax
+)
+
+// StaticSchedule trains every rate each pass (SlimmableNet-style).
+func StaticSchedule(rates RateList) Scheduler { return slicing.Static{Rates: rates} }
+
+// FixedSchedule always trains the single given rate (conventional training).
+func FixedSchedule(rate float64) Scheduler { return slicing.Fixed{Rate: rate} }
+
+// Predict runs an inference pass at slice rate r.
+func Predict(model Layer, rates RateList, r float64, x *Tensor) *Tensor {
+	return slicing.Predict(model, rates, r, x)
+}
+
+// Evaluate computes loss and accuracy at slice rate r over batches.
+func Evaluate(model Layer, rates RateList, r float64, batches []Batch) EvalResult {
+	idx := 0
+	if i, err := rates.Index(r); err == nil {
+		idx = i
+	}
+	return train.Evaluate(model, r, idx, batches)
+}
+
+// Extract builds a standalone copy of the subnet at rate r whose parameter
+// and memory footprint is that of the small model (Section 3.1 deployment).
+func Extract(model Layer, r float64, rates RateList) Layer {
+	return slicing.Extract(model, r, rates)
+}
+
+// CostProfile reports multiply-accumulates, resident parameters and
+// activation volume of one forward pass.
+type CostProfile = cost.Profile
+
+// MeasureCost profiles one forward pass at slice rate r for a single-sample
+// input shape (e.g. [3, 32, 32] for images, [T] for token sequences).
+func MeasureCost(model Layer, inShape []int, r float64) CostProfile {
+	p, _ := cost.Measure(model, inShape, r)
+	return p
+}
+
+// BudgetRate resolves a runtime computation budget to the largest slice
+// rate whose cost fits (Equation 3): r ≤ min(√(Ct/C0), 1), snapped to the
+// rate list.
+func BudgetRate(rates RateList, budgetMACs, fullMACs float64) float64 {
+	return rates.BudgetRate(budgetMACs, fullMACs)
+}

@@ -1,0 +1,105 @@
+package modelslicing_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	ms "modelslicing"
+	"modelslicing/internal/models"
+)
+
+// makeBlobs builds a small separable classification dataset on the facade
+// types.
+func makeBlobs(n, dim, classes int, rng *rand.Rand) []ms.Batch {
+	var batches []ms.Batch
+	bs := 16
+	for start := 0; start < n; start += bs {
+		x := ms.NewTensor(bs, dim)
+		labels := make([]int, bs)
+		for i := 0; i < bs; i++ {
+			c := rng.Intn(classes)
+			labels[i] = c
+			for j := 0; j < dim; j++ {
+				center := 0.0
+				if j%classes == c {
+					center = 2
+				}
+				x.Set(center+rng.NormFloat64()*0.6, i, j)
+			}
+		}
+		batches = append(batches, ms.Batch{X: x, Labels: labels})
+	}
+	return batches
+}
+
+// TestFacadeEndToEnd drives the whole public API: build → train → evaluate
+// at every rate → budget resolution → subnet extraction.
+func TestFacadeEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	rates := ms.NewRateList(0.25, 4)
+	model := models.NewMLP(12, []int{32, 32}, 3, 4, rng)
+	tr := ms.NewTrainer(model, rates, ms.NewRMinMax(rates), ms.NewSGD(0.1, 0.9, 1e-4), rng)
+
+	data := makeBlobs(480, 12, 3, rng)
+	test := makeBlobs(160, 12, 3, rng)
+	for epoch := 0; epoch < 12; epoch++ {
+		tr.Epoch(data)
+	}
+	for _, r := range rates {
+		res := ms.Evaluate(model, rates, r, test)
+		if res.Accuracy < 0.9 {
+			t.Fatalf("rate %v accuracy %.3f, want ≥0.9", r, res.Accuracy)
+		}
+	}
+
+	// Equation 3: full cost vs quarter-budget resolution.
+	full := ms.MeasureCost(model, []int{12}, 1)
+	r := ms.BudgetRate(rates, float64(full.MACs)/4, float64(full.MACs))
+	if r != 0.5 {
+		t.Fatalf("quarter budget should resolve to rate 0.5, got %v", r)
+	}
+	half := ms.MeasureCost(model, []int{12}, 0.5)
+	if half.MACs >= full.MACs {
+		t.Fatal("sliced cost must shrink")
+	}
+
+	// Extraction: the deployable subnet computes the same function.
+	sub := ms.Extract(model, 0.5, rates)
+	x := test[0].X
+	want := ms.Predict(model, rates, 0.5, x)
+	got := sub.Forward(&ms.Context{}, x)
+	for i := range want.Data {
+		if math.Abs(want.Data[i]-got.Data[i]) > 1e-9 {
+			t.Fatal("extracted subnet differs from sliced parent")
+		}
+	}
+	subCost := ms.MeasureCost(sub, []int{12}, 1)
+	if subCost.Params >= full.Params {
+		t.Fatal("extracted subnet must be smaller")
+	}
+}
+
+func TestFacadeSchedulers(t *testing.T) {
+	rates := ms.NewRateList(0.25, 4)
+	rng := rand.New(rand.NewSource(2))
+	for _, s := range []ms.Scheduler{
+		ms.NewRandomUniform(rates, 2),
+		ms.NewRandomWeighted(rates, []float64{1, 1, 1, 1}, 2),
+		ms.NewRMinMax(rates),
+		ms.NewRMin(rates),
+		ms.NewRMax(rates),
+		ms.StaticSchedule(rates),
+		ms.FixedSchedule(0.5),
+	} {
+		lt := s.Next(rng)
+		if len(lt) == 0 {
+			t.Fatalf("%s returned empty schedule", s.Name())
+		}
+		for _, r := range lt {
+			if r <= 0 || r > 1 {
+				t.Fatalf("%s returned invalid rate %v", s.Name(), r)
+			}
+		}
+	}
+}
