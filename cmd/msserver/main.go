@@ -1,0 +1,138 @@
+// Command msserver serves a trained model-slicing network over HTTP with
+// the live Section 4.1 elastic-batching engine: queries POSTed to /predict
+// batch up for T/2, each batch runs at the largest slice rate the Equation-3
+// policy admits under calibrated per-rate timings, /metrics exposes the live
+// counters in Prometheus format, and /healthz reports liveness.
+//
+// Serve a checkpoint written by mstrain (architecture flags must match):
+//
+//	mstrain -model mlp -epochs 20 -save mlp.ckpt
+//	msserver -model mlp -load mlp.ckpt -addr :8080 -slo 50ms
+//
+// Or skip training entirely and serve a self-trained demo model:
+//
+//	msserver -model demo
+//	curl -s localhost:8080/predict -d '{"input":[...16 floats...]}'
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"modelslicing/internal/data"
+	"modelslicing/internal/demo"
+	"modelslicing/internal/models"
+	"modelslicing/internal/nn"
+	"modelslicing/internal/persist"
+	"modelslicing/internal/server"
+	"modelslicing/internal/slicing"
+)
+
+func main() {
+	model := flag.String("model", "demo", "demo|mlp|vgg|resnet (mlp/vgg/resnet require -load)")
+	loadPath := flag.String("load", "", "checkpoint written by mstrain with matching architecture flags")
+	addr := flag.String("addr", ":8080", "HTTP listen address")
+	slo := flag.Duration("slo", 50*time.Millisecond, "latency SLO T; batches form every T/2")
+	lb := flag.Float64("lb", 0.25, "slice-rate lower bound")
+	gran := flag.Int("granularity", 4, "slice granularity")
+	workers := flag.Int("workers", 0, "batch shards (0 = min(4, GOMAXPROCS))")
+	queueFactor := flag.Float64("queue-factor", 1, "admission bound as a multiple of the lower-bound window capacity")
+	fixedRate := flag.Float64("fixed-rate", 0, "pin serving to one rate (fixed-width baseline; 0 = elastic)")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	rates := slicing.NewRateList(*lb, *gran)
+
+	var (
+		net        nn.Layer
+		inputShape []int
+		accuracyAt func(r float64) float64
+	)
+	switch *model {
+	case "demo":
+		fmt.Println("training demo MLP...")
+		m := demo.TrainMLP(*lb, *gran, 30, rng)
+		net, inputShape, accuracyAt = m.Net, m.InputShape, m.AccuracyAt
+		for _, r := range rates {
+			fmt.Printf("  rate %.4g  acc %.2f%%\n", r, 100*m.Accuracy[r])
+		}
+	case "mlp", "vgg", "resnet":
+		if *loadPath == "" {
+			fmt.Fprintf(os.Stderr, "msserver: -model %s requires -load (train one with mstrain -save)\n", *model)
+			os.Exit(2)
+		}
+		cfg := data.CIFARLike(0, 0)
+		switch *model {
+		case "mlp":
+			net = models.NewMLP(cfg.Channels*cfg.H*cfg.W, []int{64, 64}, cfg.Classes, *gran, rng)
+			inputShape = []int{cfg.Channels * cfg.H * cfg.W}
+		case "vgg":
+			net, _ = models.NewVGG(models.VGG13Mini(*gran, models.NormGroup, len(rates)), rng)
+			inputShape = []int{cfg.Channels, cfg.H, cfg.W}
+		case "resnet":
+			net, _ = models.NewResNet(models.ResNetMini(*gran, models.NormGroup, len(rates)), rng)
+			inputShape = []int{cfg.Channels, cfg.H, cfg.W}
+		}
+		if err := persist.Load(*loadPath, net.Params()); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("loaded checkpoint %s\n", *loadPath)
+	default:
+		fmt.Fprintf(os.Stderr, "msserver: unknown model %q\n", *model)
+		os.Exit(2)
+	}
+
+	srv, err := server.New(server.Config{
+		Model:       net,
+		Rates:       rates,
+		InputShape:  inputShape,
+		SLO:         *slo,
+		Workers:     *workers,
+		QueueFactor: *queueFactor,
+		FixedRate:   *fixedRate,
+		AccuracyAt:  accuracyAt,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("calibrated per-sample times:\n")
+	times := srv.Calibrator().Snapshot()
+	for _, r := range rates {
+		if t, ok := times[r]; ok {
+			fmt.Printf("  rate %.4g  t=%s  window capacity %d\n",
+				r, time.Duration(t*float64(time.Second)), int((*slo).Seconds()/2/t))
+		}
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	done := make(chan struct{})
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		fmt.Println("\nshutting down...")
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(ctx) // stop intake, drain in-flight HTTP
+		srv.Stop()                // flush the last window
+		close(done)
+	}()
+
+	fmt.Printf("serving %s on %s (SLO %s, window %s)\n", *model, *addr, *slo, *slo/2)
+	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	<-done
+}

@@ -1,0 +1,3 @@
+module modelslicing
+
+go 1.24

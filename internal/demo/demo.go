@@ -1,0 +1,96 @@
+// Package demo trains a small sliced MLP on the repo's synthetic image task
+// in about a second and measures every subnet's accuracy. It backs the
+// zero-setup paths of the serving binaries (msserver -model demo,
+// msserve -live), where the point is the serving behaviour, not the model:
+// the accuracy spread across rates is what makes elastic-vs-fixed
+// comparisons meaningful, so the task comes from internal/data, whose
+// achievable accuracy grows with model capacity.
+package demo
+
+import (
+	"math/rand"
+
+	"modelslicing/internal/data"
+	"modelslicing/internal/models"
+	"modelslicing/internal/nn"
+	"modelslicing/internal/slicing"
+	"modelslicing/internal/tensor"
+	"modelslicing/internal/train"
+)
+
+// Features and Classes describe the demo task: 8×8 single-channel synthetic
+// images with several prototype modes per class, flattened for the MLP.
+const (
+	Features = 64
+	Classes  = 8
+)
+
+func imageConfig() data.ImageConfig {
+	return data.ImageConfig{
+		Classes: Classes, Channels: 1, H: 8, W: 8, Modes: 4,
+		// Tuned so the full-width subnet clearly beats the lower bound
+		// without either saturating.
+		Noise: 0.55, SharedWeight: 0.35,
+		TrainN: 1024, TestN: 512, Seed: 4001,
+	}
+}
+
+// Model is a trained sliced model with its measured per-rate quality.
+type Model struct {
+	Net        nn.Layer
+	Rates      slicing.RateList
+	InputShape []int
+	// Accuracy maps each deployable rate to test accuracy.
+	Accuracy map[float64]float64
+	pool     []*tensor.Tensor
+}
+
+// AccuracyAt adapts the measured table to the serving packages' callback.
+func (m *Model) AccuracyAt(r float64) float64 {
+	return m.Accuracy[m.Rates.Nearest(r)]
+}
+
+// Sample returns a real test input for load generators and smoke queries.
+func (m *Model) Sample(rng *rand.Rand) *tensor.Tensor {
+	return m.pool[rng.Intn(len(m.pool))]
+}
+
+// flatten reshapes image batches to rows for the MLP.
+func flatten(bs []train.Batch) []train.Batch {
+	out := make([]train.Batch, len(bs))
+	for i, b := range bs {
+		out[i] = train.Batch{
+			X:      b.X.Reshape(b.X.Dim(0), b.X.Size()/b.X.Dim(0)),
+			Labels: b.Labels,
+		}
+	}
+	return out
+}
+
+// TrainMLP trains a 64→64→64→8 sliced MLP with the r-min-max scheme for a
+// few epochs and evaluates every subnet.
+func TrainMLP(lb float64, granularity, epochs int, rng *rand.Rand) *Model {
+	rates := slicing.NewRateList(lb, granularity)
+	d := data.GenerateImages(imageConfig())
+	net := models.NewMLP(Features, []int{64, 64}, Classes, granularity, rng)
+	trainer := slicing.NewTrainer(net, rates, slicing.NewRMinMax(rates), train.NewSGD(0.1, 0.9, 1e-4), rng)
+	for e := 0; e < epochs; e++ {
+		trainer.Epoch(flatten(d.TrainBatches(32, false, rng)))
+	}
+	test := flatten(d.TestBatches(64))
+	acc := make(map[float64]float64, len(rates))
+	for i, r := range rates {
+		acc[r] = train.Evaluate(net, r, i, test).Accuracy
+	}
+	// Pool of single-sample inputs for load generation: real test rows, so
+	// served traffic looks like the task the model was trained on.
+	var pool []*tensor.Tensor
+	for _, b := range test {
+		for i := 0; i < b.X.Dim(0); i++ {
+			row := tensor.New(Features)
+			copy(row.Data, b.X.Row(i))
+			pool = append(pool, row)
+		}
+	}
+	return &Model{Net: net, Rates: rates, InputShape: []int{Features}, Accuracy: acc, pool: pool}
+}

@@ -113,6 +113,9 @@ func TestAllExperimentsRunAtMicroScale(t *testing.T) {
 
 // The CNN study memoizes per (scale, seed).
 func TestCNNStudyMemoized(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping CNN training in -short mode")
+	}
 	a := RunCNNStudy(Micro, 1)
 	b := RunCNNStudy(Micro, 1)
 	if a != b {

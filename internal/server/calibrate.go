@@ -1,0 +1,87 @@
+package server
+
+import (
+	"sync"
+	"time"
+
+	"modelslicing/internal/slicing"
+)
+
+// Calibrator maintains the measured per-sample inference time t(r) for every
+// deployable rate. The paper's analysis assumes t(r) = t·r² (Equation 3);
+// real layer stacks deviate — input/output layers are excluded from slicing,
+// GEMM efficiency varies with width — so the server measures t(r) on its own
+// hardware at startup and keeps refining it with an exponentially weighted
+// average of observed batch times. The Equation-3 policy then budgets against
+// reality instead of the idealization.
+//
+// t(r) is the *pool-effective* per-sample time: both the startup measurement
+// and online observations time whole batches through the sharded worker
+// pool, so the scalar already reflects worker parallelism. Small batches
+// (fewer samples than workers) have a higher effective per-sample cost than
+// the estimate, but a batch that small is far from the window's capacity
+// boundary, where the estimate is the one that matters — so observations
+// from tiny batches are excluded rather than letting their fixed overhead
+// whip the EWMA around.
+type Calibrator struct {
+	mu        sync.RWMutex
+	perSample map[float64]float64 // rate → seconds per sample
+	alpha     float64             // EWMA weight of a new observation
+	minN      int                 // smallest batch worth folding in
+}
+
+// ewmaAlpha weights online observations: high enough to track thermal or
+// load drift within a few hundred batches, low enough that one noisy batch
+// cannot flip the policy.
+const ewmaAlpha = 0.1
+
+// newStaticCalibrator pins t(r) to a fixed curve and ignores observations —
+// used by tests and by callers that already profiled their model.
+func newStaticCalibrator(rates slicing.RateList, sampleTime func(r float64) float64) *Calibrator {
+	c := &Calibrator{perSample: make(map[float64]float64), alpha: 0}
+	for _, r := range rates {
+		c.perSample[r] = sampleTime(r)
+	}
+	return c
+}
+
+// SampleTime returns the current estimate of t(r) in seconds.
+func (c *Calibrator) SampleTime(r float64) float64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.perSample[r]
+}
+
+// set stores a startup measurement.
+func (c *Calibrator) set(r, perSample float64) {
+	c.mu.Lock()
+	c.perSample[r] = perSample
+	c.mu.Unlock()
+}
+
+// Observe folds a served batch's measured duration into the estimate.
+// Batches smaller than the calibration batch are ignored (see type doc).
+func (c *Calibrator) Observe(r float64, n int, elapsed time.Duration) {
+	if n < c.minN || n <= 0 || c.alpha == 0 {
+		return
+	}
+	perSample := elapsed.Seconds() / float64(n)
+	c.mu.Lock()
+	if old, ok := c.perSample[r]; ok {
+		c.perSample[r] = (1-c.alpha)*old + c.alpha*perSample
+	} else {
+		c.perSample[r] = perSample
+	}
+	c.mu.Unlock()
+}
+
+// Snapshot returns a copy of the current per-rate estimates (for /metrics).
+func (c *Calibrator) Snapshot() map[float64]float64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make(map[float64]float64, len(c.perSample))
+	for r, t := range c.perSample {
+		out[r] = t
+	}
+	return out
+}

@@ -1,0 +1,73 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts wall-clock time so the batcher's T/2 window can be driven
+// by a synthetic clock in tests (window formation, burst fallback and
+// admission control are all asserted tick-by-tick without sleeping).
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// Ticker returns a channel delivering window-boundary ticks every d,
+	// and a stop function releasing its resources.
+	Ticker(d time.Duration) (<-chan time.Time, func())
+}
+
+// realClock is the production clock backed by the runtime timer wheel.
+type realClock struct{}
+
+func (realClock) Now() time.Time { return time.Now() }
+
+func (realClock) Ticker(d time.Duration) (<-chan time.Time, func()) {
+	t := time.NewTicker(d)
+	return t.C, t.Stop
+}
+
+// FakeClock is a manually advanced clock for deterministic tests: Tick
+// delivers exactly one window boundary and blocks until the batcher has
+// consumed it, so a test can interleave Submit calls and window closes
+// without races or sleeps.
+type FakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+	c   chan time.Time
+}
+
+// NewFakeClock starts a fake clock at the given instant.
+func NewFakeClock(start time.Time) *FakeClock {
+	return &FakeClock{now: start, c: make(chan time.Time)}
+}
+
+// Now returns the fake current time.
+func (f *FakeClock) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+// Ticker hands out the shared manual tick channel; the interval is recorded
+// by Tick, not by a timer.
+func (f *FakeClock) Ticker(d time.Duration) (<-chan time.Time, func()) {
+	return f.c, func() {}
+}
+
+// Advance moves the clock forward without delivering a tick (models time
+// passing inside a window, e.g. processing latency).
+func (f *FakeClock) Advance(d time.Duration) {
+	f.mu.Lock()
+	f.now = f.now.Add(d)
+	f.mu.Unlock()
+}
+
+// Tick advances the clock by d and delivers one window boundary, blocking
+// until the consumer (the batcher) receives it.
+func (f *FakeClock) Tick(d time.Duration) {
+	f.mu.Lock()
+	f.now = f.now.Add(d)
+	now := f.now
+	f.mu.Unlock()
+	f.c <- now
+}

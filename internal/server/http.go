@@ -1,0 +1,100 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"modelslicing/internal/tensor"
+)
+
+// PredictRequest is the JSON body of POST /predict: a flat row-major input
+// vector matching the model's single-sample shape.
+type PredictRequest struct {
+	Input []float64 `json:"input"`
+}
+
+// PredictResponse is the JSON answer: the model output (e.g. class logits),
+// the winning class, the slice rate the batch was served at, and the
+// measured latency.
+type PredictResponse struct {
+	Output    []float64 `json:"output"`
+	ArgMax    int       `json:"argmax"`
+	Rate      float64   `json:"rate"`
+	LatencyMs float64   `json:"latency_ms"`
+	SLOMiss   bool      `json:"slo_miss"`
+}
+
+// Handler returns the server's HTTP API:
+//
+//	POST /predict  — submit one sample, blocks until its window is served
+//	GET  /metrics  — Prometheus text exposition of the live counters
+//	GET  /healthz  — liveness (503 once shutdown has begun)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/predict", s.handlePredict)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "use POST", http.StatusMethodNotAllowed)
+		return
+	}
+	var req PredictRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad JSON: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	x := tensor.FromSlice(req.Input, len(req.Input))
+	ch, err := s.Submit(x)
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	case errors.Is(err, ErrStopped):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	case err != nil:
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	select {
+	case res := <-ch:
+		writeJSON(w, PredictResponse{
+			Output:    res.Output.Data,
+			ArgMax:    res.Output.ArgMax(),
+			Rate:      res.Rate,
+			LatencyMs: float64(res.Latency.Microseconds()) / 1e3,
+			SLOMiss:   res.SLOMiss,
+		})
+	case <-r.Context().Done():
+		// Client gave up; the result channel is buffered so the
+		// dispatcher is never blocked by the abandonment.
+		http.Error(w, "client cancelled", 499)
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write([]byte(s.Stats().prometheus()))
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	stopping := s.stopping
+	s.mu.Unlock()
+	if stopping {
+		http.Error(w, "shutting down", http.StatusServiceUnavailable)
+		return
+	}
+	writeJSON(w, map[string]any{"status": "ok", "slo_ms": float64(s.cfg.SLO.Microseconds()) / 1e3})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,137 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"modelslicing/internal/models"
+	"modelslicing/internal/slicing"
+)
+
+// liveServer runs on the real clock with a short SLO so HTTP requests are
+// answered within a few window ticks.
+func liveServer(t *testing.T) *Server {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	s, err := New(Config{
+		Model:            models.NewMLP(4, []int{8, 8}, 3, 4, rng),
+		Rates:            slicing.NewRateList(0.25, 4),
+		InputShape:       []int{4},
+		SLO:              20 * time.Millisecond,
+		CalibrationBatch: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Stop)
+	return s
+}
+
+func TestHTTPPredict(t *testing.T) {
+	s := liveServer(t)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body, _ := json.Marshal(PredictRequest{Input: []float64{1, -0.5, 2, 0.3}})
+	resp, err := http.Post(ts.URL+"/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out PredictResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Output) != 3 || out.ArgMax < 0 || out.ArgMax > 2 {
+		t.Fatalf("bad response %+v", out)
+	}
+	if out.Rate < 0.25 || out.Rate > 1 {
+		t.Fatalf("served rate %v outside the rate list", out.Rate)
+	}
+}
+
+func TestHTTPPredictRejectsBadInput(t *testing.T) {
+	s := liveServer(t)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for _, body := range []string{`{"input":[1,2]}`, `not json`} {
+		resp, err := http.Post(ts.URL+"/predict", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("body %q: status %d, want 400", body, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/predict")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /predict: status %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestHTTPMetricsAndHealth(t *testing.T) {
+	s := liveServer(t)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Serve one query so the counters are non-trivial.
+	body, _ := json.Marshal(PredictRequest{Input: []float64{0, 1, 0, -1}})
+	resp, err := http.Post(ts.URL+"/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	_, _ = buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	text := buf.String()
+	for _, w := range []string{
+		"msserver_queries_processed_total 1",
+		"msserver_batches_total",
+		`msserver_sample_time_seconds{rate="0.25"}`,
+		"# TYPE msserver_queue_depth gauge",
+	} {
+		if !strings.Contains(text, w) {
+			t.Fatalf("metrics missing %q:\n%s", w, text)
+		}
+	}
+
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+
+	s.Stop()
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz after stop: %d, want 503", resp.StatusCode)
+	}
+}

@@ -1,0 +1,135 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// metrics aggregates the server's counters. Hot-path counts are atomics;
+// the per-rate histogram and quality accumulators take a mutex only once per
+// batch, never per query.
+type metrics struct {
+	processed  atomic.Int64 // queries answered
+	rejected   atomic.Int64 // queries refused by admission control
+	sloMisses  atomic.Int64 // answered queries whose latency exceeded T
+	batches    atomic.Int64 // batches dispatched
+	infeasible atomic.Int64 // batches where even the lowest rate overran T/2
+	busyNanos  atomic.Int64 // time workers spent processing
+
+	mu       sync.Mutex
+	rateHist map[float64]int64 // rate → queries served at it
+	sumRate  float64           // Σ rate·queries, for the mean served rate
+	sumAcc   float64           // Σ accuracy(rate)·queries, when configured
+}
+
+func newMetrics() *metrics {
+	return &metrics{rateHist: make(map[float64]int64)}
+}
+
+// recordBatch folds one dispatched batch into the aggregates.
+func (m *metrics) recordBatch(n int, rate float64, infeasible bool, busy time.Duration, acc float64, haveAcc bool) {
+	m.processed.Add(int64(n))
+	m.batches.Add(1)
+	if infeasible {
+		m.infeasible.Add(1)
+	}
+	m.busyNanos.Add(int64(busy))
+	m.mu.Lock()
+	m.rateHist[rate] += int64(n)
+	m.sumRate += rate * float64(n)
+	if haveAcc {
+		m.sumAcc += acc * float64(n)
+	}
+	m.mu.Unlock()
+}
+
+// Stats is a point-in-time snapshot of a live server's aggregates — the
+// live-path analogue of serving.Stats, measured rather than simulated.
+type Stats struct {
+	Processed         int64
+	Rejected          int64
+	SLOMisses         int64
+	Batches           int64
+	InfeasibleBatches int64
+	RateHist          map[float64]int64
+	MeanRate          float64
+	// WeightedAccuracy averages the configured per-rate accuracy over all
+	// served queries (zero when Config.AccuracyAt is nil).
+	WeightedAccuracy float64
+	// Utilization is worker busy time over wall-clock time since Start.
+	Utilization float64
+	// QueueDepth is the number of queries waiting for the next window.
+	QueueDepth int
+	// SampleTimes is the calibrator's current per-rate t(r) in seconds.
+	SampleTimes map[float64]float64
+}
+
+// snapshot assembles Stats; elapsed is wall time since the server started.
+func (m *metrics) snapshot(elapsed time.Duration) Stats {
+	s := Stats{
+		Processed:         m.processed.Load(),
+		Rejected:          m.rejected.Load(),
+		SLOMisses:         m.sloMisses.Load(),
+		Batches:           m.batches.Load(),
+		InfeasibleBatches: m.infeasible.Load(),
+		RateHist:          make(map[float64]int64),
+	}
+	m.mu.Lock()
+	for r, n := range m.rateHist {
+		s.RateHist[r] = n
+	}
+	sumRate, sumAcc := m.sumRate, m.sumAcc
+	m.mu.Unlock()
+	if s.Processed > 0 {
+		s.MeanRate = sumRate / float64(s.Processed)
+		s.WeightedAccuracy = sumAcc / float64(s.Processed)
+	}
+	if elapsed > 0 {
+		s.Utilization = float64(m.busyNanos.Load()) / float64(elapsed)
+	}
+	return s
+}
+
+// prometheus renders the snapshot in the Prometheus text exposition format.
+func (s Stats) prometheus() string {
+	var b []byte
+	counter := func(name, help string, v int64) {
+		b = append(b, fmt.Sprintf("# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)...)
+	}
+	gauge := func(name, help string, v float64) {
+		b = append(b, fmt.Sprintf("# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)...)
+	}
+	counter("msserver_queries_processed_total", "Queries answered.", s.Processed)
+	counter("msserver_queries_rejected_total", "Queries refused by admission control.", s.Rejected)
+	counter("msserver_slo_misses_total", "Answered queries that exceeded the latency SLO.", s.SLOMisses)
+	counter("msserver_batches_total", "Batches dispatched.", s.Batches)
+	counter("msserver_infeasible_batches_total", "Batches that overran the window even at the lowest rate.", s.InfeasibleBatches)
+	gauge("msserver_queue_depth", "Queries waiting for the next window.", float64(s.QueueDepth))
+	gauge("msserver_mean_rate", "Query-weighted mean served slice rate.", s.MeanRate)
+	gauge("msserver_utilization", "Worker busy time over wall-clock time.", s.Utilization)
+
+	rates := make([]float64, 0, len(s.RateHist))
+	for r := range s.RateHist {
+		rates = append(rates, r)
+	}
+	sort.Float64s(rates)
+	b = append(b, "# HELP msserver_rate_queries_total Queries served per slice rate.\n# TYPE msserver_rate_queries_total counter\n"...)
+	for _, r := range rates {
+		b = append(b, fmt.Sprintf("msserver_rate_queries_total{rate=%q} %d\n", fmt.Sprintf("%g", r), s.RateHist[r])...)
+	}
+	if len(s.SampleTimes) > 0 {
+		rates = rates[:0]
+		for r := range s.SampleTimes {
+			rates = append(rates, r)
+		}
+		sort.Float64s(rates)
+		b = append(b, "# HELP msserver_sample_time_seconds Calibrated per-sample inference time per rate.\n# TYPE msserver_sample_time_seconds gauge\n"...)
+		for _, r := range rates {
+			b = append(b, fmt.Sprintf("msserver_sample_time_seconds{rate=%q} %g\n", fmt.Sprintf("%g", r), s.SampleTimes[r])...)
+		}
+	}
+	return string(b)
+}

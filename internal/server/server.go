@@ -1,0 +1,471 @@
+// Package server is the live counterpart of internal/serving: a concurrent
+// inference engine that serves real queries under a latency SLO with the
+// Section 4.1 elastic-batching scheme. Queries accumulate for one T/2
+// wall-clock window; when the window closes the batch is served at the
+// largest slice rate the Equation-3 policy admits, by a pool of workers each
+// holding standalone Extract-ed subnets per rate. Per-rate per-sample times
+// come from an online calibrator rather than the r² idealization, admission
+// control sheds load once even the lowest rate cannot save the next window,
+// and everything is observable over a Prometheus-style /metrics endpoint.
+//
+// The scheduling decision itself lives in serving.Policy, shared with the
+// clock-free simulation, so the live path and the simulated path cannot
+// drift apart.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"modelslicing/internal/nn"
+	"modelslicing/internal/serving"
+	"modelslicing/internal/slicing"
+	"modelslicing/internal/tensor"
+)
+
+// Errors returned by Submit.
+var (
+	// ErrOverloaded signals admission control: the pending queue already
+	// exceeds what the lowest rate can process within the window, so
+	// accepting the query could only add an SLO miss.
+	ErrOverloaded = errors.New("server: overloaded, queue exceeds lower-bound capacity")
+	// ErrStopped signals a query submitted during or after shutdown.
+	ErrStopped = errors.New("server: stopped")
+)
+
+// Config parameterizes a live server.
+type Config struct {
+	// Model is the parent network trained with model slicing.
+	Model nn.Layer
+	// Rates are the deployable slice rates.
+	Rates slicing.RateList
+	// InputShape is the single-sample input shape (e.g. [16] for a
+	// 16-feature MLP, [3, 32, 32] for images).
+	InputShape []int
+	// SLO is the latency bound T; batches form every T/2.
+	SLO time.Duration
+	// Workers is the number of parallel shards a batch is split across.
+	// Each worker holds its own subnet replicas (layers cache forward
+	// state and are not goroutine-safe). Default: min(4, GOMAXPROCS).
+	Workers int
+	// QueueFactor scales the admission bound: submissions are rejected
+	// once pending > QueueFactor·capacity(r_min). Default 1.
+	QueueFactor float64
+	// Headroom in (0, 1] derates the window the policy budgets against,
+	// reserving slack for request intake, GC and OS jitter on saturated
+	// machines (a single-core host serving its own load generator needs
+	// ~0.7). Default 1: the full T/2 is spent on inference.
+	Headroom float64
+	// FixedRate pins the policy to a single rate when > 0 — the
+	// fixed-width provisioning baseline the paper argues against.
+	FixedRate float64
+	// AccuracyAt maps a rate to its measured accuracy for quality
+	// accounting; nil disables it.
+	AccuracyAt func(r float64) float64
+	// Clock supplies time; nil means the wall clock. Tests inject a
+	// FakeClock to drive windows deterministically.
+	Clock Clock
+	// SampleTime, when non-nil, fixes t(r) instead of measuring it at
+	// startup (tests and pre-profiled deployments).
+	SampleTime func(r float64) float64
+	// CalibrationBatch is the batch size used to measure t(r) at startup
+	// (default 32); ignored when SampleTime is set.
+	CalibrationBatch int
+}
+
+// Result is the answer to one query.
+type Result struct {
+	// Output is the model output for the sample (e.g. class logits).
+	Output *tensor.Tensor
+	// Rate is the slice rate the query's batch was served at.
+	Rate float64
+	// Latency is submission-to-completion time.
+	Latency time.Duration
+	// SLOMiss reports whether Latency exceeded the configured SLO.
+	SLOMiss bool
+}
+
+// query is one in-flight request.
+type query struct {
+	x        *tensor.Tensor
+	enqueued time.Time
+	done     chan Result
+	result   *tensor.Tensor
+}
+
+// batchJob is one closed window's worth of queries with its rate decision.
+type batchJob struct {
+	queries    []*query
+	rate       float64
+	infeasible bool
+}
+
+// worker holds one replica set of extracted subnets; a worker processes at
+// most one shard at a time.
+type worker struct {
+	subnets map[float64]nn.Layer
+}
+
+// Server is a live SLO-aware inference server.
+type Server struct {
+	cfg     Config
+	policy  serving.Policy
+	cal     *Calibrator
+	workers []*worker
+	clock   Clock
+	metrics *metrics
+	started time.Time
+
+	mu       sync.Mutex
+	pending  []*query
+	stopping bool
+
+	dispatch chan *batchJob
+	quit     chan struct{}
+	doneCh   chan struct{}
+	stopOnce sync.Once
+}
+
+// New validates the configuration, extracts and caches one subnet per
+// (worker, rate), calibrates per-rate sample times, and starts the batching
+// and dispatching goroutines. The returned server is live; release it with
+// Stop.
+func New(cfg Config) (*Server, error) {
+	if cfg.Model == nil {
+		return nil, errors.New("server: nil model")
+	}
+	if err := cfg.Rates.Check(); err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	if len(cfg.InputShape) == 0 {
+		return nil, errors.New("server: empty input shape")
+	}
+	if cfg.SLO <= 0 {
+		return nil, fmt.Errorf("server: non-positive SLO %v", cfg.SLO)
+	}
+	if cfg.FixedRate > 0 {
+		if _, err := cfg.Rates.Index(cfg.FixedRate); err != nil {
+			return nil, fmt.Errorf("server: fixed rate: %w", err)
+		}
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = min(4, runtime.GOMAXPROCS(0))
+	}
+	if cfg.QueueFactor <= 0 {
+		cfg.QueueFactor = 1
+	}
+	if cfg.Headroom < 0 || cfg.Headroom > 1 {
+		return nil, fmt.Errorf("server: headroom %v outside (0, 1]", cfg.Headroom)
+	}
+	if cfg.Headroom == 0 {
+		cfg.Headroom = 1
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = realClock{}
+	}
+
+	// Deployable rates: all of them, or just the pinned one in baseline
+	// mode — each worker gets standalone replicas (Section 3.1 extraction)
+	// because layers cache forward state and are single-goroutine.
+	deploy := cfg.Rates
+	if cfg.FixedRate > 0 {
+		deploy = slicing.RateList{cfg.FixedRate}
+	}
+	workers := make([]*worker, cfg.Workers)
+	for w := range workers {
+		subnets := make(map[float64]nn.Layer, len(deploy))
+		for _, r := range deploy {
+			subnets[r] = slicing.Extract(cfg.Model, r, cfg.Rates)
+		}
+		workers[w] = &worker{subnets: subnets}
+	}
+
+	if cfg.CalibrationBatch <= 0 {
+		cfg.CalibrationBatch = 32
+	}
+
+	s := &Server{
+		cfg:     cfg,
+		workers: workers,
+		clock:   cfg.Clock,
+		metrics: newMetrics(),
+		started: time.Now(),
+		// A small buffer lets processing of window k overlap the collection
+		// of window k+1 without unbounding memory; admission control keeps
+		// the queue itself finite.
+		dispatch: make(chan *batchJob, 8),
+		quit:     make(chan struct{}),
+		doneCh:   make(chan struct{}),
+	}
+	if cfg.SampleTime != nil {
+		s.cal = newStaticCalibrator(deploy, cfg.SampleTime)
+	} else {
+		s.cal = &Calibrator{
+			perSample: make(map[float64]float64),
+			alpha:     ewmaAlpha,
+			minN:      cfg.CalibrationBatch,
+		}
+		s.measureSampleTimes(deploy, cfg.CalibrationBatch)
+	}
+	s.policy = serving.Policy{
+		Rates:      cfg.Rates,
+		Window:     (cfg.SLO / 2).Seconds() * cfg.Headroom,
+		SampleTime: s.cal.SampleTime,
+	}
+	go s.batchLoop()
+	go s.dispatchLoop()
+	return s, nil
+}
+
+// measureSampleTimes times each rate through the sharded worker pool — the
+// same path live batches take — so t(r) reflects pool throughput, not
+// single-worker serial time: one warm-up, then the best of three timed runs
+// (minimum filters scheduler noise; the EWMA absorbs any residual optimism
+// once real traffic flows).
+func (s *Server) measureSampleTimes(deploy slicing.RateList, batchN int) {
+	rng := rand.New(rand.NewSource(0))
+	queries := make([]*query, batchN)
+	for i := range queries {
+		x := tensor.New(s.cfg.InputShape...)
+		for j := range x.Data {
+			x.Data[j] = rng.NormFloat64()
+		}
+		queries[i] = &query{x: x}
+	}
+	for _, r := range deploy {
+		s.runBatch(queries, r)
+		best := time.Duration(math.MaxInt64)
+		for i := 0; i < 3; i++ {
+			start := time.Now()
+			s.runBatch(queries, r)
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		s.cal.set(r, best.Seconds()/float64(batchN))
+	}
+}
+
+// SLO returns the configured latency bound T.
+func (s *Server) SLO() time.Duration { return s.cfg.SLO }
+
+// Calibrator exposes the live per-rate timing estimates.
+func (s *Server) Calibrator() *Calibrator { return s.cal }
+
+// minRate is the lowest deployable rate under the current mode.
+func (s *Server) minRate() float64 {
+	if s.cfg.FixedRate > 0 {
+		return s.cfg.FixedRate
+	}
+	return s.cfg.Rates.Min()
+}
+
+// admissionLimit is the deepest pending queue worth accepting: beyond
+// QueueFactor times the window capacity at the lowest rate, the next batch
+// overruns no matter which rate the policy picks. An unbounded capacity
+// (t(r_min) ≤ 0) means unbounded admission, and the float product must not
+// be narrowed to int before that check — float64(MaxInt) converts to MinInt.
+func (s *Server) admissionLimit() int {
+	limit := s.cfg.QueueFactor * float64(s.policy.Capacity(s.minRate()))
+	if limit >= float64(math.MaxInt) {
+		return math.MaxInt
+	}
+	return max(int(limit), 1)
+}
+
+// Submit enqueues one sample for the next window. The returned channel
+// receives exactly one Result. Submissions are rejected with ErrOverloaded
+// under backpressure and ErrStopped during shutdown.
+func (s *Server) Submit(x *tensor.Tensor) (<-chan Result, error) {
+	want := 1
+	for _, d := range s.cfg.InputShape {
+		want *= d
+	}
+	if x == nil || x.Size() != want {
+		return nil, fmt.Errorf("server: input has %d elements, model wants %d", sizeOf(x), want)
+	}
+	q := &query{x: x, enqueued: s.clock.Now(), done: make(chan Result, 1)}
+	s.mu.Lock()
+	if s.stopping {
+		s.mu.Unlock()
+		return nil, ErrStopped
+	}
+	if len(s.pending) >= s.admissionLimit() {
+		s.mu.Unlock()
+		s.metrics.rejected.Add(1)
+		return nil, ErrOverloaded
+	}
+	s.pending = append(s.pending, q)
+	s.mu.Unlock()
+	return q.done, nil
+}
+
+func sizeOf(x *tensor.Tensor) int {
+	if x == nil {
+		return 0
+	}
+	return x.Size()
+}
+
+// Predict is the blocking convenience wrapper: Submit plus wait.
+func (s *Server) Predict(x *tensor.Tensor) (Result, error) {
+	ch, err := s.Submit(x)
+	if err != nil {
+		return Result{}, err
+	}
+	return <-ch, nil
+}
+
+// QueueDepth reports the number of queries waiting for the next window.
+func (s *Server) QueueDepth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pending)
+}
+
+// Stats snapshots the server's aggregate counters.
+func (s *Server) Stats() Stats {
+	st := s.metrics.snapshot(time.Since(s.started))
+	st.QueueDepth = s.QueueDepth()
+	st.SampleTimes = s.cal.Snapshot()
+	return st
+}
+
+// Stop shuts down gracefully: no new submissions, the pending queue is
+// flushed as a final batch, in-flight batches finish, then the goroutines
+// exit. Safe to call more than once.
+func (s *Server) Stop() {
+	s.stopOnce.Do(func() {
+		s.mu.Lock()
+		s.stopping = true
+		s.mu.Unlock()
+		close(s.quit)
+		<-s.doneCh
+	})
+}
+
+// batchLoop closes a window every T/2 tick: it drains the pending queue,
+// resolves the Equation-3 rate for the batch size it found, and hands the
+// job to the dispatcher so processing of this window overlaps collection of
+// the next — exactly the pipelining that makes T/2 batching meet a T bound.
+func (s *Server) batchLoop() {
+	ticks, stopTicker := s.clock.Ticker(s.cfg.SLO / 2)
+	defer stopTicker()
+	for {
+		select {
+		case <-s.quit:
+			s.flush()
+			close(s.dispatch)
+			return
+		case <-ticks:
+			s.closeWindow()
+		}
+	}
+}
+
+// closeWindow forms and dispatches the current batch, if any.
+func (s *Server) closeWindow() {
+	s.mu.Lock()
+	batch := s.pending
+	s.pending = nil
+	s.mu.Unlock()
+	if len(batch) == 0 {
+		return
+	}
+	rate, feasible := s.choose(len(batch))
+	s.dispatch <- &batchJob{queries: batch, rate: rate, infeasible: !feasible}
+}
+
+// flush drains whatever is pending at shutdown so no query goes unanswered.
+func (s *Server) flush() {
+	s.closeWindow()
+}
+
+// choose resolves the serving rate for a batch of n: the shared Equation-3
+// policy in elastic mode, or the pinned rate (with its own feasibility
+// check) in fixed-width baseline mode.
+func (s *Server) choose(n int) (rate float64, feasible bool) {
+	if s.cfg.FixedRate > 0 {
+		return s.cfg.FixedRate, s.policy.BatchTime(n, s.cfg.FixedRate) <= s.policy.Window
+	}
+	return s.policy.Choose(n)
+}
+
+// dispatchLoop serves batches in arrival order, sharding each across the
+// worker pool, then settles every query and feeds the measured duration
+// back into the calibrator.
+func (s *Server) dispatchLoop() {
+	defer close(s.doneCh)
+	for job := range s.dispatch {
+		n := len(job.queries)
+		start := time.Now()
+		s.runBatch(job.queries, job.rate)
+		elapsed := time.Since(start)
+		s.cal.Observe(job.rate, n, elapsed)
+
+		now := s.clock.Now()
+		misses := int64(0)
+		for _, q := range job.queries {
+			latency := now.Sub(q.enqueued)
+			miss := latency > s.cfg.SLO
+			if miss {
+				misses++
+			}
+			q.done <- Result{Output: q.result, Rate: job.rate, Latency: latency, SLOMiss: miss}
+		}
+		s.metrics.sloMisses.Add(misses)
+		acc, haveAcc := 0.0, false
+		if s.cfg.AccuracyAt != nil {
+			acc, haveAcc = s.cfg.AccuracyAt(job.rate), true
+		}
+		s.metrics.recordBatch(n, job.rate, job.infeasible, elapsed, acc, haveAcc)
+	}
+}
+
+// runBatch splits the batch into contiguous shards, one per worker, and
+// runs them concurrently. Each worker stacks its shard into a single
+// forward pass through its cached subnet replica for the chosen rate.
+func (s *Server) runBatch(queries []*query, rate float64) {
+	n := len(queries)
+	w := min(len(s.workers), n)
+	per := (n + w - 1) / w
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		lo := i * per
+		hi := min(lo+per, n)
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(wk *worker, shard []*query) {
+			defer wg.Done()
+			wk.run(shard, rate, s.cfg.InputShape)
+		}(s.workers[i], queries[lo:hi])
+	}
+	wg.Wait()
+}
+
+// run forwards one shard as a single batch at the given rate and scatters
+// the output rows back to the queries. The extracted subnets are standalone
+// small models, so they run at full width.
+func (wk *worker) run(shard []*query, rate float64, inputShape []int) {
+	net := wk.subnets[rate]
+	n := len(shard)
+	x := tensor.New(append([]int{n}, inputShape...)...)
+	d := len(shard[0].x.Data)
+	for i, q := range shard {
+		copy(x.Data[i*d:(i+1)*d], q.x.Data)
+	}
+	y := net.Forward(nn.Eval(1), x)
+	classes := y.Size() / n
+	for i, q := range shard {
+		row := tensor.New(classes)
+		copy(row.Data, y.Data[i*classes:(i+1)*classes])
+		q.result = row
+	}
+}

@@ -1,0 +1,70 @@
+package serving
+
+import (
+	"fmt"
+	"math"
+
+	"modelslicing/internal/slicing"
+)
+
+// Policy is the Section 4.1 scheduling policy shared by the clock-free
+// simulation (Simulate) and the live concurrent server (internal/server):
+// given the n queries batched during one T/2 window, serve them at the
+// largest slice rate r with n·t(r) ≤ T/2 (Equation 3), so that collecting
+// the next window and processing the current one together stay within the
+// latency bound T.
+//
+// SampleTime abstracts the per-sample processing time t(r). The simulation
+// uses the idealized FullSampleTime·r² curve; the live server substitutes
+// per-rate times measured by its calibrator, so the policy never drifts from
+// the hardware it actually runs on.
+type Policy struct {
+	// Rates are the deployable slice rates (ascending, ending at 1).
+	Rates slicing.RateList
+	// Window is the batching interval T/2, in the same time units as
+	// SampleTime's results.
+	Window float64
+	// SampleTime returns the per-sample processing time t(r) at rate r.
+	SampleTime func(r float64) float64
+}
+
+// NewPolicy builds the Equation-3 policy with the idealized quadratic cost
+// curve t(r) = fullSampleTime·r² used throughout the paper's analysis.
+func NewPolicy(rates slicing.RateList, latencySLO, fullSampleTime float64) Policy {
+	if latencySLO <= 0 || fullSampleTime <= 0 {
+		panic(fmt.Sprintf("serving: invalid policy parameters T=%v t=%v", latencySLO, fullSampleTime))
+	}
+	return Policy{
+		Rates:      rates,
+		Window:     latencySLO / 2,
+		SampleTime: func(r float64) float64 { return fullSampleTime * r * r },
+	}
+}
+
+// Choose picks the largest rate that serves a batch of n within the window,
+// falling back to the smallest rate (feasible = false) when even that
+// overruns — the batch will miss the latency bound but quality degrades no
+// further than the lower bound the operator chose at training time.
+func (p Policy) Choose(n int) (rate float64, feasible bool) {
+	if n <= 0 {
+		return p.Rates.Max(), true
+	}
+	budget := p.Window / float64(n)
+	return p.Rates.LargestWithin(budget, p.SampleTime)
+}
+
+// BatchTime is the processing time of a batch of n at rate r.
+func (p Policy) BatchTime(n int, r float64) float64 {
+	return float64(n) * p.SampleTime(r)
+}
+
+// Capacity is the largest batch size a window can absorb at rate r. It is
+// the admission-control bound at the lower rate: once more than
+// Capacity(Rates.Min()) queries are pending, no rate can save the batch.
+func (p Policy) Capacity(r float64) int {
+	t := p.SampleTime(r)
+	if t <= 0 {
+		return math.MaxInt
+	}
+	return int(p.Window / t)
+}

@@ -1,0 +1,84 @@
+package serving
+
+import (
+	"testing"
+
+	"modelslicing/internal/slicing"
+)
+
+func TestPolicyChooseMatchesEquation3(t *testing.T) {
+	p := NewPolicy(slicing.NewRateList(0.25, 4), 100, 1) // window 50, t(r)=r²
+	for _, tc := range []struct {
+		n        int
+		want     float64
+		feasible bool
+	}{
+		{0, 1.0, true},
+		{50, 1.0, true},   // 50·1 = window exactly
+		{51, 0.75, true},  // 51·0.5625 ≈ 28.7
+		{200, 0.5, true},  // 200·0.25 = 50
+		{201, 0.25, true}, // falls through 0.5
+		{800, 0.25, true}, // 800·0.0625 = 50
+		{801, 0.25, false},
+	} {
+		r, ok := p.Choose(tc.n)
+		if r != tc.want || ok != tc.feasible {
+			t.Fatalf("Choose(%d) = %v, %v; want %v, %v", tc.n, r, ok, tc.want, tc.feasible)
+		}
+	}
+}
+
+func TestPolicyCapacityAndBatchTime(t *testing.T) {
+	p := NewPolicy(slicing.NewRateList(0.25, 4), 100, 1)
+	for r, want := range map[float64]int{1.0: 50, 0.5: 200, 0.25: 800} {
+		if got := p.Capacity(r); got != want {
+			t.Fatalf("Capacity(%v) = %d, want %d", r, got, want)
+		}
+	}
+	if bt := p.BatchTime(10, 0.5); bt != 2.5 {
+		t.Fatalf("BatchTime(10, 0.5) = %v, want 2.5", bt)
+	}
+}
+
+// TestSimulateAgreesWithPolicy pins the refactor: the simulation must make
+// exactly the decisions the shared Policy makes, window by window.
+func TestSimulateAgreesWithPolicy(t *testing.T) {
+	cfg := Config{LatencySLO: 100, FullSampleTime: 1, Rates: slicing.NewRateList(0.25, 4)}
+	p := cfg.Policy()
+	arrivals := []int{0, 7, 50, 51, 199, 200, 640, 801, 3}
+	stats := Simulate(cfg, arrivals)
+	for i, n := range arrivals {
+		if n == 0 {
+			continue
+		}
+		wantRate, feasible := p.Choose(n)
+		tick := stats.Ticks[i]
+		if tick.Rate != wantRate || tick.Infeasible == feasible {
+			t.Fatalf("window %d (n=%d): sim chose %v/inf=%v, policy says %v/inf=%v",
+				i, n, tick.Rate, tick.Infeasible, wantRate, !feasible)
+		}
+		if tick.WorkTime != p.BatchTime(n, wantRate) {
+			t.Fatalf("window %d work time %v, policy says %v", i, tick.WorkTime, p.BatchTime(n, wantRate))
+		}
+	}
+}
+
+func TestEmptyTraceStats(t *testing.T) {
+	cfg := Config{LatencySLO: 100, FullSampleTime: 1, Rates: slicing.NewRateList(0.25, 4)}
+	for name, stats := range map[string]Stats{
+		"simulate": Simulate(cfg, nil),
+		"fixed":    FixedCapacityBaseline(cfg, 1.0, nil),
+	} {
+		if stats.TroughArrivals != 0 {
+			t.Fatalf("%s: empty trace leaks TroughArrivals=%d", name, stats.TroughArrivals)
+		}
+		if stats.Processed != 0 || stats.SLOViolations != 0 {
+			t.Fatalf("%s: empty trace produced work: %+v", name, stats)
+		}
+	}
+	// All-zero traces must not report the MaxInt sentinel either.
+	stats := Simulate(cfg, []int{0, 0, 0})
+	if stats.TroughArrivals != 0 {
+		t.Fatalf("all-zero trace: TroughArrivals=%d, want 0", stats.TroughArrivals)
+	}
+}

@@ -59,8 +59,11 @@ func (s Stats) Volatility() float64 {
 	return float64(s.PeakArrivals) / float64(s.TroughArrivals)
 }
 
-// Simulate runs the T/2 batching policy over per-window arrival counts.
-func Simulate(cfg Config, arrivals []int) Stats {
+// Policy returns the Equation-3 policy this configuration describes: the
+// T/2 window and the per-sample cost curve t(r) = FullSampleTime·CostRatio(r)
+// (r² when CostRatio is nil). Simulate and the live server in internal/server
+// both schedule through this type, so the two paths cannot drift.
+func (cfg Config) Policy() Policy {
 	if cfg.LatencySLO <= 0 || cfg.FullSampleTime <= 0 {
 		panic(fmt.Sprintf("serving: invalid config %+v", cfg))
 	}
@@ -68,7 +71,17 @@ func Simulate(cfg Config, arrivals []int) Stats {
 	if costRatio == nil {
 		costRatio = func(r float64) float64 { return r * r }
 	}
-	window := cfg.LatencySLO / 2
+	return Policy{
+		Rates:      cfg.Rates,
+		Window:     cfg.LatencySLO / 2,
+		SampleTime: func(r float64) float64 { return cfg.FullSampleTime * costRatio(r) },
+	}
+}
+
+// Simulate runs the T/2 batching policy over per-window arrival counts.
+func Simulate(cfg Config, arrivals []int) Stats {
+	policy := cfg.Policy()
+	window := policy.Window
 	stats := Stats{RateHist: make(map[float64]int), TroughArrivals: math.MaxInt}
 	sumRateWeighted := 0.0
 	sumAcc := 0.0
@@ -76,12 +89,10 @@ func Simulate(cfg Config, arrivals []int) Stats {
 	for _, n := range arrivals {
 		tick := TickStats{Arrivals: n}
 		if n > 0 {
-			// Largest rate with n·cost(r)·t ≤ T/2.
-			budget := window / (float64(n) * cfg.FullSampleTime)
-			r, ok := cfg.Rates.LargestWithin(budget, costRatio)
+			r, ok := policy.Choose(n)
 			tick.Rate = r
 			tick.Infeasible = !ok
-			tick.WorkTime = float64(n) * costRatio(r) * cfg.FullSampleTime
+			tick.WorkTime = policy.BatchTime(n, r)
 			if tick.Infeasible {
 				// The batch overruns the window: every query in it misses
 				// the latency bound.
@@ -111,6 +122,8 @@ func Simulate(cfg Config, arrivals []int) Stats {
 	}
 	if len(arrivals) > 0 {
 		stats.Utilization = totalWork / (window * float64(len(arrivals)))
+	} else {
+		stats.TroughArrivals = 0
 	}
 	return stats
 }
@@ -163,12 +176,9 @@ func poisson(lambda float64, rng *rand.Rand) int {
 // provisioned for the mean workload fails at the peak, one provisioned for
 // the peak wastes resources off-peak.
 func FixedCapacityBaseline(cfg Config, fixedRate float64, arrivals []int) Stats {
-	costRatio := cfg.CostRatio
-	if costRatio == nil {
-		costRatio = func(r float64) float64 { return r * r }
-	}
-	window := cfg.LatencySLO / 2
-	capacity := int(window / (costRatio(fixedRate) * cfg.FullSampleTime))
+	policy := cfg.Policy()
+	window := policy.Window
+	capacity := policy.Capacity(fixedRate)
 	stats := Stats{RateHist: make(map[float64]int), TroughArrivals: math.MaxInt}
 	totalWork := 0.0
 	sumAcc := 0.0
@@ -181,7 +191,7 @@ func FixedCapacityBaseline(cfg Config, fixedRate float64, arrivals []int) Stats 
 				stats.SLOViolations += n - capacity
 				tick.Infeasible = true
 			}
-			tick.WorkTime = float64(n) * costRatio(fixedRate) * cfg.FullSampleTime
+			tick.WorkTime = policy.BatchTime(n, fixedRate)
 			totalWork += tick.WorkTime
 			if cfg.AccuracyAt != nil {
 				sumAcc += cfg.AccuracyAt(fixedRate) * float64(n)
@@ -203,6 +213,8 @@ func FixedCapacityBaseline(cfg Config, fixedRate float64, arrivals []int) Stats 
 	}
 	if len(arrivals) > 0 {
 		stats.Utilization = totalWork / (window * float64(len(arrivals)))
+	} else {
+		stats.TroughArrivals = 0
 	}
 	return stats
 }

@@ -39,22 +39,30 @@ func NewRateList(lb float64, granularity int) RateList {
 	return rates
 }
 
-// Validate panics unless the list is non-empty, ascending, within (0,1] and
+// Check reports whether the list is non-empty, ascending, within (0,1] and
 // ends at the full network.
-func (l RateList) Validate() {
+func (l RateList) Check() error {
 	if len(l) == 0 {
-		panic("slicing: empty rate list")
+		return fmt.Errorf("slicing: empty rate list")
 	}
 	for i, r := range l {
 		if r <= 0 || r > 1 {
-			panic(fmt.Sprintf("slicing: rate %v out of (0,1]", r))
+			return fmt.Errorf("slicing: rate %v out of (0,1]", r)
 		}
 		if i > 0 && l[i-1] >= r {
-			panic(fmt.Sprintf("slicing: rate list not ascending at %d: %v", i, l))
+			return fmt.Errorf("slicing: rate list not ascending at %d: %v", i, l)
 		}
 	}
 	if l[len(l)-1] != 1 {
-		panic("slicing: rate list must end at 1.0")
+		return fmt.Errorf("slicing: rate list must end at 1.0")
+	}
+	return nil
+}
+
+// Validate is Check that panics (for rate lists known to be well-formed).
+func (l RateList) Validate() {
+	if err := l.Check(); err != nil {
+		panic(err)
 	}
 }
 

@@ -25,6 +25,8 @@ import (
 
 	"modelslicing/internal/cost"
 	"modelslicing/internal/nn"
+	"modelslicing/internal/server"
+	"modelslicing/internal/serving"
 	"modelslicing/internal/slicing"
 	"modelslicing/internal/tensor"
 	"modelslicing/internal/train"
@@ -131,3 +133,30 @@ func MeasureCost(model Layer, inShape []int, r float64) CostProfile {
 func BudgetRate(rates RateList, budgetMACs, fullMACs float64) float64 {
 	return rates.BudgetRate(budgetMACs, fullMACs)
 }
+
+// Live serving (Section 4.1). Policy is the Equation-3 scheduling decision
+// shared by the clock-free simulation and the concurrent server, so the two
+// paths cannot drift; Server batches real queries every T/2 and serves each
+// batch at the largest rate the policy admits under calibrated timings.
+type (
+	// Policy picks the largest slice rate serving n queries within T/2.
+	Policy = serving.Policy
+	// Server is the live SLO-aware batching inference server.
+	Server = server.Server
+	// ServerConfig parameterizes a live server.
+	ServerConfig = server.Config
+	// ServerResult is the answer to one served query.
+	ServerResult = server.Result
+	// ServerStats snapshots a live server's counters.
+	ServerStats = server.Stats
+)
+
+// NewPolicy builds the Equation-3 policy with the idealized quadratic cost
+// curve t(r) = fullSampleTime·r².
+func NewPolicy(rates RateList, latencySLO, fullSampleTime float64) Policy {
+	return serving.NewPolicy(rates, latencySLO, fullSampleTime)
+}
+
+// NewServer starts a live server over a trained model; release it with
+// (*Server).Stop. See internal/server for the engine's architecture.
+func NewServer(cfg ServerConfig) (*Server, error) { return server.New(cfg) }
