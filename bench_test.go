@@ -70,9 +70,8 @@ func BenchmarkFig8Consistency(b *testing.B)     { benchExperiment(b, "fig8") }
 
 // --- Kernel performance benchmarks. ---
 
-func BenchmarkGemm128(b *testing.B) {
+func benchGemm(b *testing.B, n int) {
 	rng := rand.New(rand.NewSource(1))
-	n := 128
 	a := make([]float64, n*n)
 	bm := make([]float64, n*n)
 	c := make([]float64, n*n)
@@ -85,6 +84,10 @@ func BenchmarkGemm128(b *testing.B) {
 		tensor.Gemm(n, n, n, a, n, bm, n, c, n)
 	}
 }
+
+func BenchmarkGemm128(b *testing.B) { benchGemm(b, 128) }
+func BenchmarkGemm256(b *testing.B) { benchGemm(b, 256) }
+func BenchmarkGemm512(b *testing.B) { benchGemm(b, 512) }
 
 func BenchmarkConvForward(b *testing.B) {
 	rng := rand.New(rand.NewSource(2))
@@ -134,6 +137,61 @@ func benchSlicedInference(b *testing.B, r float64) {
 func BenchmarkSlicedInferenceFull(b *testing.B)    { benchSlicedInference(b, 1.0) }
 func BenchmarkSlicedInferenceHalf(b *testing.B)    { benchSlicedInference(b, 0.5) }
 func BenchmarkSlicedInferenceQuarter(b *testing.B) { benchSlicedInference(b, 0.25) }
+
+// BenchmarkSharedInference* measure the zero-copy serving path: one parent
+// weight set, slice rates served as prefix views, activations from a reused
+// arena. Compare with BenchmarkSlicedInference* (Forward path) and
+// BenchmarkExtractedSubnetInference (materialized deployment copy).
+func benchSharedInference(b *testing.B, r float64) {
+	rng := rand.New(rand.NewSource(4))
+	m, _ := models.NewVGG(models.VGG13Mini(4, models.NormGroup, 1), rng)
+	rates := slicing.NewRateList(0.25, 4)
+	shared := slicing.NewShared(m, rates)
+	arena := tensor.NewArena()
+	x := tensor.New(8, 3, 16, 16)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	// Warm up: the first pass grows the arena to its high-water mark.
+	shared.Infer(r, x, arena)
+	arena.Reset()
+	shared.Infer(r, x, arena)
+	arena.Reset()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		shared.Infer(r, x, arena)
+		arena.Reset()
+	}
+}
+
+func BenchmarkSharedInferenceFull(b *testing.B)    { benchSharedInference(b, 1.0) }
+func BenchmarkSharedInferenceHalf(b *testing.B)    { benchSharedInference(b, 0.5) }
+func BenchmarkSharedInferenceQuarter(b *testing.B) { benchSharedInference(b, 0.25) }
+
+// BenchmarkDenseMLPInferArena pins the allocs/op ≈ 0 property of the
+// arena-backed inference path on a Dense MLP.
+func BenchmarkDenseMLPInferArena(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	model := models.NewMLP(16, []int{64, 64}, 4, 4, rng)
+	rates := slicing.NewRateList(0.25, 4)
+	shared := slicing.NewShared(model, rates)
+	arena := tensor.NewArena()
+	x := tensor.New(32, 16)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	shared.Infer(0.5, x, arena)
+	arena.Reset()
+	shared.Infer(0.5, x, arena)
+	arena.Reset()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		shared.Infer(0.5, x, arena)
+		arena.Reset()
+	}
+}
 
 // BenchmarkExtractedSubnetInference measures the standalone deployed subnet
 // (Extract) against the sliced parent at the same rate.

@@ -1,21 +1,32 @@
 // Command msbench regenerates the paper's tables and figures on the
-// synthetic stand-in workloads.
+// synthetic stand-in workloads, and records the engine's performance
+// trajectory as machine-readable JSON.
 //
 // Usage:
 //
 //	msbench -exp table1 -scale small -seed 42
 //	msbench -exp all -scale tiny
 //	msbench -list
+//	msbench -json              # write BENCH_<unix>.json perf snapshot
+//	msbench -json -out p.json  # write to an explicit path
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
+	"runtime"
 	"strings"
+	"testing"
 	"time"
 
 	"modelslicing/internal/experiments"
+	"modelslicing/internal/models"
+	"modelslicing/internal/serving"
+	"modelslicing/internal/slicing"
+	"modelslicing/internal/tensor"
 )
 
 func main() {
@@ -23,11 +34,20 @@ func main() {
 	scaleFlag := flag.String("scale", "small", "tiny|small|medium")
 	seed := flag.Int64("seed", 42, "random seed")
 	list := flag.Bool("list", false, "list available experiments")
+	jsonOut := flag.Bool("json", false, "run the perf suite and write a BENCH_*.json snapshot")
+	outPath := flag.String("out", "", "output path for -json (default BENCH_<unix>.json)")
 	flag.Parse()
 
 	if *list {
 		for _, id := range experiments.List() {
 			fmt.Println(id)
+		}
+		return
+	}
+	if *jsonOut {
+		if err := writeBenchJSON(*outPath); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
 		return
 	}
@@ -37,7 +57,7 @@ func main() {
 		os.Exit(2)
 	}
 	if *exp == "" {
-		fmt.Fprintln(os.Stderr, "msbench: -exp required (or -list)")
+		fmt.Fprintln(os.Stderr, "msbench: -exp required (or -list / -json)")
 		os.Exit(2)
 	}
 	// Comma-separated ids share one process, so experiments derived from the
@@ -56,4 +76,123 @@ func main() {
 		fmt.Print(out)
 		fmt.Printf("[%s completed in %.1fs]\n\n", id, time.Since(start).Seconds())
 	}
+}
+
+// benchReport is the schema of a BENCH_*.json perf snapshot: GEMM kernel
+// throughput at a size sweep, and per-rate inference cost of the zero-copy
+// serving path versus the Extract deployment path.
+type benchReport struct {
+	Timestamp  string           `json:"timestamp"`
+	GoOS       string           `json:"goos"`
+	GoArch     string           `json:"goarch"`
+	GoMaxProcs int              `json:"gomaxprocs"`
+	Gemm       []gemmPoint      `json:"gemm"`
+	Inference  []inferencePoint `json:"inference"`
+}
+
+type gemmPoint struct {
+	Size     int     `json:"size"` // square m = n = k
+	NsPerOp  float64 `json:"ns_per_op"`
+	OpsPerS  float64 `json:"ops_per_s"`
+	GFLOPS   float64 `json:"gflops"`
+	AllocsOp int64   `json:"allocs_per_op"`
+}
+
+type inferencePoint struct {
+	Rate               float64 `json:"rate"`
+	NsPerSampleShared  float64 `json:"ns_per_sample_shared"`
+	NsPerSampleExtract float64 `json:"ns_per_sample_extract"`
+	AllocsOpShared     int64   `json:"allocs_per_op_shared"`
+	SampleTimeSeconds  float64 `json:"sample_time_seconds"` // serving calibration of t(r)
+}
+
+// writeBenchJSON runs the perf suite with the testing harness and writes the
+// snapshot; path defaults to BENCH_<unix>.json in the working directory.
+func writeBenchJSON(path string) error {
+	rep := benchReport{
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GoOS:       runtime.GOOS,
+		GoArch:     runtime.GOARCH,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+
+	for _, n := range []int{64, 128, 256, 512} {
+		rng := rand.New(rand.NewSource(1))
+		a := make([]float64, n*n)
+		bm := make([]float64, n*n)
+		c := make([]float64, n*n)
+		for i := range a {
+			a[i], bm[i] = rng.NormFloat64(), rng.NormFloat64()
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				tensor.Gemm(n, n, n, a, n, bm, n, c, n)
+			}
+		})
+		ns := float64(r.NsPerOp())
+		rep.Gemm = append(rep.Gemm, gemmPoint{
+			Size:     n,
+			NsPerOp:  ns,
+			OpsPerS:  1e9 / ns,
+			GFLOPS:   2 * float64(n) * float64(n) * float64(n) / ns,
+			AllocsOp: r.AllocsPerOp(),
+		})
+	}
+
+	// Per-rate inference on the benchmark CNN (same model family as the
+	// repo's bench_test.go), batch 8, via the zero-copy shared path and the
+	// Extract deployment path.
+	const batch = 8
+	rng := rand.New(rand.NewSource(4))
+	model, _ := models.NewVGG(models.VGG13Mini(4, models.NormGroup, 1), rng)
+	rates := slicing.NewRateList(0.25, 4)
+	shared := slicing.NewShared(model, rates)
+	sampleTime := serving.MeasureSampleTimes(model, rates, []int{3, 16, 16}, batch)
+	x := tensor.New(batch, 3, 16, 16)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	for _, rate := range rates {
+		arena := tensor.NewArena()
+		shared.Infer(rate, x, arena)
+		arena.Reset()
+		rs := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				shared.Infer(rate, x, arena)
+				arena.Reset()
+			}
+		})
+		sub := slicing.Extract(model, rate, rates)
+		subShared := slicing.NewShared(sub, slicing.NewRateList(1, 1))
+		subShared.Infer(1, x, arena)
+		arena.Reset()
+		re := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				subShared.Infer(1, x, arena)
+				arena.Reset()
+			}
+		})
+		rep.Inference = append(rep.Inference, inferencePoint{
+			Rate:               rate,
+			NsPerSampleShared:  float64(rs.NsPerOp()) / batch,
+			NsPerSampleExtract: float64(re.NsPerOp()) / batch,
+			AllocsOpShared:     rs.AllocsPerOp(),
+			SampleTimeSeconds:  sampleTime(rate),
+		})
+	}
+
+	if path == "" {
+		path = fmt.Sprintf("BENCH_%d.json", time.Now().Unix())
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println(path)
+	return nil
 }

@@ -24,15 +24,17 @@ func main() {
 		fmt.Printf("  rate %.2f -> %.2f%% accuracy\n", r, 100*m.Accuracy[r])
 	}
 
+	const slo = 60 * time.Millisecond // batches form every 30 ms
+	// Leave 30% of the window for intake and GC: Equation 3 otherwise fills
+	// the entire half-window with compute, and any jitter on a loaded
+	// machine then lands past the SLO.
+	const headroom = 0.7
 	srv, err := ms.NewServer(ms.ServerConfig{
 		Model:      m.Net,
 		Rates:      m.Rates,
 		InputShape: m.InputShape,
-		SLO: 60 * time.Millisecond, // batches form every 30 ms
-		// Leave 30% of the window for intake and GC: Equation 3 otherwise
-		// fills the entire half-window with compute, and any jitter on a
-		// loaded machine then lands past the SLO.
-		Headroom:   0.7,
+		SLO:        slo,
+		Headroom:   headroom,
 		AccuracyAt: m.AccuracyAt,
 	})
 	if err != nil {
@@ -47,12 +49,17 @@ func main() {
 	}
 
 	// A quiet period, then a burst: the policy should serve the first
-	// queries wide and the burst narrow.
+	// queries wide and the burst narrow. The burst is sized from the
+	// calibration itself — 2.5× what the full-width model fits in one
+	// window — so it overwhelms r = 1 on any machine regardless of how
+	// fast the kernels are.
+	window := headroom * (slo / 2).Seconds()
+	burst := int(2.5 * window / times[1.0])
 	fmt.Println("\nserving a quiet batch, then a burst...")
 	for _, phase := range []struct {
 		name string
 		n    int
-	}{{"quiet", 8}, {"burst", 4000}} {
+	}{{"quiet", 8}, {"burst", burst}} {
 		n := phase.n
 		var chans []<-chan ms.ServerResult
 		for i := 0; i < n; i++ {

@@ -32,6 +32,17 @@ func (r *ReLU) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
 	return y
 }
 
+// Infer computes max(x, 0) without caching the mask (read-only path).
+func (r *ReLU) Infer(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
+	y := arenaOf(ctx).Get(x.Shape...)
+	for i, v := range x.Data {
+		if v > 0 {
+			y.Data[i] = v
+		}
+	}
+	return y
+}
+
 // Backward gates the gradient by the cached mask.
 func (r *ReLU) Backward(ctx *Context, dy *tensor.Tensor) *tensor.Tensor {
 	if len(dy.Data) != len(r.mask) {
@@ -91,6 +102,9 @@ func (d *Dropout) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
 	}
 	return y
 }
+
+// Infer is the identity: inference never drops units.
+func (d *Dropout) Infer(ctx *Context, x *tensor.Tensor) *tensor.Tensor { return x }
 
 // Backward applies the cached mask to the gradient.
 func (d *Dropout) Backward(ctx *Context, dy *tensor.Tensor) *tensor.Tensor {

@@ -109,6 +109,48 @@ func (c *Conv2D) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
 	return y
 }
 
+// Infer computes y[B, aOut, outH, outW] on the read-only inference path.
+// Samples are processed sequentially with one arena-backed im2col scratch
+// buffer — batch-level parallelism belongs to the caller (the server shards
+// batches across workers), and the blocked GEMM parallelizes large products
+// internally.
+func (c *Conv2D) Infer(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
+	r := ctx.EffRate()
+	aIn, aOut := c.Active(r)
+	if x.Rank() != 4 || x.Dim(1) != aIn {
+		panic(fmt.Sprintf("nn: Conv2D.Infer input %v, want [B %d H W] at rate %v", x.Shape, aIn, r))
+	}
+	batch := x.Dim(0)
+	h, w := x.Dim(2), x.Dim(3)
+	outH, outW := c.OutShape(h, w)
+	arena := arenaOf(ctx)
+	y := arena.Get(batch, aOut, outH, outW)
+
+	inPlane := aIn * h * w
+	outPlane := aOut * outH * outW
+	spatial := outH * outW
+	colRows := aIn * c.KH * c.KW
+	ldW := c.In * c.KH * c.KW
+
+	col := arena.Get(colRows * spatial)
+	for b := 0; b < batch; b++ {
+		src := x.Data[b*inPlane : (b+1)*inPlane]
+		tensor.Im2Col(src, aIn, h, w, c.KH, c.KW, c.Stride, c.Pad, col.Data)
+		dst := y.Data[b*outPlane : (b+1)*outPlane]
+		tensor.Gemm(aOut, spatial, colRows, c.W.Value.Data, ldW, col.Data, spatial, dst, spatial)
+		if c.B != nil {
+			for oc := 0; oc < aOut; oc++ {
+				bias := c.B.Value.Data[oc]
+				plane := dst[oc*spatial : (oc+1)*spatial]
+				for i := range plane {
+					plane[i] += bias
+				}
+			}
+		}
+	}
+	return y
+}
+
 // Backward accumulates dW, dB and returns dx[B, aIn, H, W].
 func (c *Conv2D) Backward(ctx *Context, dy *tensor.Tensor) *tensor.Tensor {
 	batch := c.x.Dim(0)

@@ -83,6 +83,33 @@ func (d *Dense) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
 	return y
 }
 
+// Infer computes y[B × aOut] from x[B × aIn] on the read-only inference
+// path: no state is cached, the sliced weight prefix is read in place, and
+// the output comes from the context's arena.
+func (d *Dense) Infer(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
+	r := ctx.EffRate()
+	aIn, aOut := d.Active(r)
+	if x.Rank() != 2 || x.Dim(1) != aIn {
+		panic(fmt.Sprintf("nn: Dense.Infer input %v, want [B %d] at rate %v", x.Shape, aIn, r))
+	}
+	batch := x.Dim(0)
+	y := arenaOf(ctx).Get(batch, aOut)
+	tensor.GemmTB(batch, aOut, aIn, x.Data, aIn, d.W.Value.Data, d.In, y.Data, aOut)
+	if d.Rescale && aIn < d.In {
+		y.Scale(float64(d.In) / float64(aIn))
+	}
+	if d.B != nil {
+		b := d.B.Value.Data
+		for i := 0; i < batch; i++ {
+			row := y.Row(i)
+			for j := 0; j < aOut; j++ {
+				row[j] += b[j]
+			}
+		}
+	}
+	return y
+}
+
 // Backward accumulates dW, dB and returns dx[B × aIn].
 func (d *Dense) Backward(ctx *Context, dy *tensor.Tensor) *tensor.Tensor {
 	if dy.Rank() != 2 || dy.Dim(0) != d.batch || dy.Dim(1) != d.aOut {

@@ -46,6 +46,20 @@ func (e *Embedding) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
 	return y
 }
 
+// Infer gathers embedding rows without caching token ids (read-only path).
+func (e *Embedding) Infer(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
+	outShape := append(append([]int(nil), x.Shape...), e.E)
+	y := arenaOf(ctx).Get(outShape...)
+	for i, v := range x.Data {
+		id := int(v)
+		if id < 0 || id >= e.V {
+			panic(fmt.Sprintf("nn: Embedding id %d out of range [0,%d)", id, e.V))
+		}
+		copy(y.Data[i*e.E:(i+1)*e.E], e.W.Value.Data[id*e.E:(id+1)*e.E])
+	}
+	return y
+}
+
 // Backward scatter-adds the gradient into the embedding rows of the tokens
 // seen in the forward pass. There is no input gradient (ids are discrete),
 // so it returns nil.

@@ -139,6 +139,67 @@ func (g *GRU) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
 	return out
 }
 
+// Infer runs the sequence on the read-only inference path: hidden frames
+// live in the output tensor and the two gate pre-activation buffers are
+// reused across steps.
+func (g *GRU) Infer(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
+	rate := ctx.EffRate()
+	aIn, aH := g.Active(rate)
+	if x.Rank() != 3 || x.Dim(2) != aIn {
+		panic(fmt.Sprintf("nn: GRU.Infer input %v, want [T B %d] at rate %v", x.Shape, aIn, rate))
+	}
+	seqT, batch := x.Dim(0), x.Dim(1)
+	scaleX, scaleH := 1.0, 1.0
+	if g.Rescale {
+		if aIn < g.In {
+			scaleX = float64(g.In) / float64(aIn)
+		}
+		if aH < g.Hidden {
+			scaleH = float64(g.Hidden) / float64(aH)
+		}
+	}
+	arena := arenaOf(ctx)
+	out := arena.Get(seqT, batch, aH)
+	h0 := arena.Get(batch, aH)
+	zx := arena.Get(batch, 3*aH)
+	zh := arena.Get(batch, 3*aH)
+	frame := batch * aIn
+	outFrame := batch * aH
+	hPrev := h0.Data
+	bx, bh := g.Bx.Value.Data, g.Bh.Value.Data
+	for t := 0; t < seqT; t++ {
+		xt := x.Data[t*frame : (t+1)*frame]
+		clear(zx.Data)
+		clear(zh.Data)
+		for k := 0; k < 3; k++ {
+			tensor.GemmTB(batch, aH, aIn, xt, aIn, g.Wx.Value.Data[k*g.Hidden*g.In:], g.In, zx.Data[k*aH:], 3*aH)
+			tensor.GemmTB(batch, aH, aH, hPrev, aH, g.Wh.Value.Data[k*g.Hidden*g.Hidden:], g.Hidden, zh.Data[k*aH:], 3*aH)
+		}
+		if scaleX != 1 {
+			zx.Scale(scaleX)
+		}
+		if scaleH != 1 {
+			zh.Scale(scaleH)
+		}
+		hCur := out.Data[t*outFrame : (t+1)*outFrame]
+		for s := 0; s < batch; s++ {
+			zxr := zx.Data[s*3*aH : (s+1)*3*aH]
+			zhr := zh.Data[s*3*aH : (s+1)*3*aH]
+			hr := hCur[s*aH : (s+1)*aH]
+			hp := hPrev[s*aH : (s+1)*aH]
+			for j := 0; j < aH; j++ {
+				rv := sigmoid(zxr[j] + bx[j] + zhr[j] + bh[j])
+				zv := sigmoid(zxr[aH+j] + bx[g.Hidden+j] + zhr[aH+j] + bh[g.Hidden+j])
+				hu := zhr[2*aH+j] + bh[2*g.Hidden+j]
+				nv := math.Tanh(zxr[2*aH+j] + bx[2*g.Hidden+j] + rv*hu)
+				hr[j] = (1-zv)*nv + zv*hp[j]
+			}
+		}
+		hPrev = hCur
+	}
+	return out
+}
+
 // Backward propagates through time and returns dx [T, B, aIn].
 func (g *GRU) Backward(ctx *Context, dy *tensor.Tensor) *tensor.Tensor {
 	if dy.Rank() != 3 || dy.Dim(0) != g.seqT || dy.Dim(1) != g.batch || dy.Dim(2) != g.aH {

@@ -169,6 +169,85 @@ func (l *LSTM) stepPreact(xt []float64, hPrev *tensor.Tensor, z *tensor.Tensor) 
 	}
 }
 
+// Infer runs the sequence on the read-only inference path: hidden frames
+// live in the output tensor, the cell state ping-pongs between two arena
+// buffers, and the gate pre-activation buffer is reused across steps.
+func (l *LSTM) Infer(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
+	r := ctx.EffRate()
+	aIn, aH := l.Active(r)
+	if x.Rank() != 3 || x.Dim(2) != aIn {
+		panic(fmt.Sprintf("nn: LSTM.Infer input %v, want [T B %d] at rate %v", x.Shape, aIn, r))
+	}
+	seqT, batch := x.Dim(0), x.Dim(1)
+	scaleX, scaleH := 1.0, 1.0
+	if l.Rescale {
+		if aIn < l.In {
+			scaleX = float64(l.In) / float64(aIn)
+		}
+		if aH < l.Hidden {
+			scaleH = float64(l.Hidden) / float64(aH)
+		}
+	}
+	arena := arenaOf(ctx)
+	out := arena.Get(seqT, batch, aH)
+	h0 := arena.Get(batch, aH)
+	cPrev := arena.Get(batch, aH)
+	cCur := arena.Get(batch, aH)
+	z := arena.Get(batch, 4*aH)
+	var zx, zh *tensor.Tensor
+	if scaleX != 1 || scaleH != 1 {
+		zx = arena.Get(batch, 4*aH)
+		zh = arena.Get(batch, 4*aH)
+	}
+	frame := batch * aIn
+	outFrame := batch * aH
+	hPrev := h0.Data
+	b := l.B.Value.Data
+	for t := 0; t < seqT; t++ {
+		xt := x.Data[t*frame : (t+1)*frame]
+		if zx == nil {
+			clear(z.Data)
+			for k := 0; k < 4; k++ {
+				wx := l.Wx.Value.Data[gateOffset(k, l.Hidden, l.In):]
+				wh := l.Wh.Value.Data[gateOffset(k, l.Hidden, l.Hidden):]
+				tensor.GemmTB(batch, aH, aIn, xt, aIn, wx, l.In, z.Data[k*aH:], 4*aH)
+				tensor.GemmTB(batch, aH, aH, hPrev, aH, wh, l.Hidden, z.Data[k*aH:], 4*aH)
+			}
+		} else {
+			clear(zx.Data)
+			clear(zh.Data)
+			for k := 0; k < 4; k++ {
+				wx := l.Wx.Value.Data[gateOffset(k, l.Hidden, l.In):]
+				wh := l.Wh.Value.Data[gateOffset(k, l.Hidden, l.Hidden):]
+				tensor.GemmTB(batch, aH, aIn, xt, aIn, wx, l.In, zx.Data[k*aH:], 4*aH)
+				tensor.GemmTB(batch, aH, aH, hPrev, aH, wh, l.Hidden, zh.Data[k*aH:], 4*aH)
+			}
+			for i := range z.Data {
+				z.Data[i] = scaleX*zx.Data[i] + scaleH*zh.Data[i]
+			}
+		}
+		hCur := out.Data[t*outFrame : (t+1)*outFrame]
+		for s := 0; s < batch; s++ {
+			zr := z.Data[s*4*aH : (s+1)*4*aH]
+			hr := hCur[s*aH : (s+1)*aH]
+			cp := cPrev.Data[s*aH : (s+1)*aH]
+			cc := cCur.Data[s*aH : (s+1)*aH]
+			for j := 0; j < aH; j++ {
+				iv := sigmoid(zr[j] + b[j])
+				fv := sigmoid(zr[aH+j] + b[l.Hidden+j])
+				gv := math.Tanh(zr[2*aH+j] + b[2*l.Hidden+j])
+				ov := sigmoid(zr[3*aH+j] + b[3*l.Hidden+j])
+				cv := fv*cp[j] + iv*gv
+				cc[j] = cv
+				hr[j] = ov * math.Tanh(cv)
+			}
+		}
+		cPrev, cCur = cCur, cPrev
+		hPrev = hCur
+	}
+	return out
+}
+
 // Backward propagates through time, accumulating weight gradients, and
 // returns dx [T, B, aIn].
 func (l *LSTM) Backward(ctx *Context, dy *tensor.Tensor) *tensor.Tensor {

@@ -35,6 +35,11 @@ type Context struct {
 	WidthIdx int
 	// RNG drives stochastic layers (dropout). May be nil outside training.
 	RNG *rand.Rand
+	// Arena, when non-nil, supplies output and scratch buffers for the
+	// inference path (Layer.Infer): activations come from the reusable slab
+	// instead of the heap and are valid until the caller's Arena.Reset.
+	// Forward ignores it.
+	Arena *tensor.Arena
 }
 
 // EffRate returns the effective slice rate (0 mapped to 1).
@@ -50,6 +55,12 @@ func (c *Context) EffRate() float64 {
 
 // Eval returns a fresh evaluation context at slice rate r.
 func Eval(r float64) *Context { return &Context{Training: false, Rate: r} }
+
+// EvalWith returns an evaluation context at slice rate r whose inference
+// activations are served from the given arena.
+func EvalWith(r float64, arena *tensor.Arena) *Context {
+	return &Context{Training: false, Rate: r, Arena: arena}
+}
 
 // Train returns a fresh training context at slice rate r using rng.
 func Train(r float64, rng *rand.Rand) *Context {
@@ -177,6 +188,14 @@ func (s *Sequential) Params() []*Param {
 		ps = append(ps, l.Params()...)
 	}
 	return ps
+}
+
+// Infer runs all layers in order on the read-only inference path.
+func (s *Sequential) Infer(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
+	for _, l := range s.Layers {
+		x = Infer(l, ctx, x)
+	}
+	return x
 }
 
 // ForwardPrefix runs only the first n layers (used by early-exit baselines).

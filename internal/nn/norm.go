@@ -128,6 +128,69 @@ func (g *GroupNorm) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
 	return y
 }
 
+// Infer normalizes the active channels group-wise per sample on the
+// read-only inference path (no x̂ cache, arena-backed output).
+func (g *GroupNorm) Infer(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
+	r := ctx.EffRate()
+	aC := g.Spec.Active(r, g.C)
+	batch, hw := normShape("GroupNorm", x, aC)
+	gs := g.C / g.NormGroups
+	if aC%gs != 0 {
+		panic(fmt.Sprintf("nn: GroupNorm: active width %d not divisible by group size %d", aC, gs))
+	}
+	ag := aC / gs
+	n := gs * hw
+
+	y := arenaOf(ctx).Get(x.Shape...)
+	plane := aC * hw
+	gamma, beta := g.Gamma.Value.Data, g.Beta.Value.Data
+	for b := 0; b < batch; b++ {
+		src := x.Data[b*plane : (b+1)*plane]
+		dst := y.Data[b*plane : (b+1)*plane]
+		for gi := 0; gi < ag; gi++ {
+			seg := src[gi*n : (gi+1)*n]
+			mu := 0.0
+			for _, v := range seg {
+				mu += v
+			}
+			mu /= float64(n)
+			va := 0.0
+			for _, v := range seg {
+				d := v - mu
+				va += d * d
+			}
+			va /= float64(n)
+			is := 1 / math.Sqrt(va+g.Eps)
+			for j, v := range seg {
+				ch := gi*gs + j/hw
+				h := (v - mu) * is
+				dst[gi*n+j] = gamma[ch]*h + beta[ch]
+			}
+		}
+	}
+	return y
+}
+
+// normShape validates a normalization input of rank 4 ([B, C, H, W]) or
+// rank 2 ([B, C]) without mutating layer state, returning batch and the
+// spatial extent per channel.
+func normShape(name string, x *tensor.Tensor, want int) (batch, hw int) {
+	switch x.Rank() {
+	case 4:
+		if x.Dim(1) != want {
+			panic(fmt.Sprintf("nn: %s input %v, want %d channels", name, x.Shape, want))
+		}
+		return x.Dim(0), x.Dim(2) * x.Dim(3)
+	case 2:
+		if x.Dim(1) != want {
+			panic(fmt.Sprintf("nn: %s input %v, want %d features", name, x.Shape, want))
+		}
+		return x.Dim(0), 1
+	default:
+		panic(fmt.Sprintf("nn: %s input rank %d unsupported", name, x.Rank()))
+	}
+}
+
 // Backward accumulates dGamma, dBeta and returns dx.
 func (g *GroupNorm) Backward(ctx *Context, dy *tensor.Tensor) *tensor.Tensor {
 	gs := g.C / g.NormGroups
@@ -310,6 +373,28 @@ func (b *BatchNorm) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
 	return y
 }
 
+// Infer normalizes with the running estimates on the read-only inference
+// path (evaluation semantics; no layer state is touched).
+func (b *BatchNorm) Infer(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
+	r := ctx.EffRate()
+	aC := b.Spec.Active(r, b.C)
+	batch, hw := normShape("BatchNorm", x, aC)
+	plane := aC * hw
+	y := arenaOf(ctx).Get(x.Shape...)
+	gamma, beta := b.Gamma.Value.Data, b.Beta.Value.Data
+	for c := 0; c < aC; c++ {
+		is := 1 / math.Sqrt(b.RunVar.Data[c]+b.Eps)
+		mu := b.RunMean.Data[c]
+		for s := 0; s < batch; s++ {
+			off := s*plane + c*hw
+			for j := 0; j < hw; j++ {
+				y.Data[off+j] = gamma[c]*(x.Data[off+j]-mu)*is + beta[c]
+			}
+		}
+	}
+	return y
+}
+
 // Backward accumulates dGamma, dBeta and returns dx (training mode only).
 func (b *BatchNorm) Backward(ctx *Context, dy *tensor.Tensor) *tensor.Tensor {
 	if !b.training {
@@ -385,6 +470,19 @@ func (s *SwitchableBatchNorm) Forward(ctx *Context, x *tensor.Tensor) *tensor.Te
 // Backward dispatches to the BatchNorm used in the preceding Forward.
 func (s *SwitchableBatchNorm) Backward(ctx *Context, dy *tensor.Tensor) *tensor.Tensor {
 	return s.BNs[s.cur].Backward(ctx, dy)
+}
+
+// Infer dispatches to the BatchNorm selected by ctx.WidthIdx without
+// recording the selection (read-only inference path).
+func (s *SwitchableBatchNorm) Infer(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
+	idx := 0
+	if ctx != nil {
+		idx = ctx.WidthIdx
+	}
+	if idx < 0 || idx >= len(s.BNs) {
+		panic(fmt.Sprintf("nn: SwitchableBatchNorm width index %d out of range [0,%d)", idx, len(s.BNs)))
+	}
+	return s.BNs[idx].Infer(ctx, x)
 }
 
 // Params returns the parameters of every per-width BatchNorm.

@@ -65,6 +65,42 @@ func (m *MaxPool2D) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
 	return y
 }
 
+// Infer computes the pooled output without caching argmax positions.
+func (m *MaxPool2D) Infer(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
+	if x.Rank() != 4 {
+		panic(fmt.Sprintf("nn: MaxPool2D input %v, want rank 4", x.Shape))
+	}
+	b, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	outH := tensor.ConvOutSize(h, m.K, m.Stride, 0)
+	outW := tensor.ConvOutSize(w, m.K, m.Stride, 0)
+	y := arenaOf(ctx).Get(b, c, outH, outW)
+	for s := 0; s < b; s++ {
+		for ch := 0; ch < c; ch++ {
+			plane := x.Data[(s*c+ch)*h*w : (s*c+ch+1)*h*w]
+			outBase := (s*c + ch) * outH * outW
+			for oy := 0; oy < outH; oy++ {
+				for ox := 0; ox < outW; ox++ {
+					best := math.Inf(-1)
+					for ky := 0; ky < m.K; ky++ {
+						for kx := 0; kx < m.K; kx++ {
+							iy := oy*m.Stride + ky
+							ix := ox*m.Stride + kx
+							if iy >= h || ix >= w {
+								continue
+							}
+							if v := plane[iy*w+ix]; v > best {
+								best = v
+							}
+						}
+					}
+					y.Data[outBase+oy*outW+ox] = best
+				}
+			}
+		}
+	}
+	return y
+}
+
 // Backward routes each gradient to its argmax position.
 func (m *MaxPool2D) Backward(ctx *Context, dy *tensor.Tensor) *tensor.Tensor {
 	dx := tensor.New(m.inShape...)
@@ -93,6 +129,27 @@ func (g *GlobalAvgPool) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
 	b, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
 	g.inShape = append([]int(nil), x.Shape...)
 	y := tensor.New(b, c)
+	hw := h * w
+	for s := 0; s < b; s++ {
+		for ch := 0; ch < c; ch++ {
+			seg := x.Data[(s*c+ch)*hw : (s*c+ch+1)*hw]
+			sum := 0.0
+			for _, v := range seg {
+				sum += v
+			}
+			y.Data[s*c+ch] = sum / float64(hw)
+		}
+	}
+	return y
+}
+
+// Infer averages each channel plane without caching the input shape.
+func (g *GlobalAvgPool) Infer(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
+	if x.Rank() != 4 {
+		panic(fmt.Sprintf("nn: GlobalAvgPool input %v, want rank 4", x.Shape))
+	}
+	b, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	y := arenaOf(ctx).Get(b, c)
 	hw := h * w
 	for s := 0; s < b; s++ {
 		for ch := 0; ch < c; ch++ {
@@ -140,6 +197,12 @@ func NewFlatten() *Flatten { return &Flatten{} }
 func (f *Flatten) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
 	f.inShape = append([]int(nil), x.Shape...)
 	return x.Reshape(x.Dim(0), x.Size()/x.Dim(0))
+}
+
+// Infer flattens via an arena-recycled header view (no data copy, no cached
+// shape).
+func (f *Flatten) Infer(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
+	return arenaOf(ctx).Wrap(x.Data, x.Dim(0), x.Size()/x.Dim(0))
 }
 
 // Backward restores the original shape.

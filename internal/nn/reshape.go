@@ -26,6 +26,15 @@ func (f *TimeFlatten) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
 	return x.Reshape(x.Dim(0)*x.Dim(1), x.Dim(2))
 }
 
+// Infer flattens via an arena-recycled header view (no data copy, no cached
+// shape).
+func (f *TimeFlatten) Infer(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
+	if x.Rank() != 3 {
+		panic(fmt.Sprintf("nn: TimeFlatten input %v, want rank 3", x.Shape))
+	}
+	return arenaOf(ctx).Wrap(x.Data, x.Dim(0)*x.Dim(1), x.Dim(2))
+}
+
 // Backward restores the [T, B, H] shape.
 func (f *TimeFlatten) Backward(ctx *Context, dy *tensor.Tensor) *tensor.Tensor {
 	return dy.Reshape(f.inShape...)

@@ -40,6 +40,25 @@ func (r *Residual) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
 	return out
 }
 
+// Infer computes both branches on the read-only path and sums them into an
+// arena-backed output (never in place: a pass-through body or shortcut may
+// alias the caller's input).
+func (r *Residual) Infer(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
+	y := Infer(r.Body, ctx, x)
+	s := x
+	if r.Short != nil {
+		s = Infer(r.Short, ctx, x)
+	}
+	if !y.SameShape(s) {
+		panic(fmt.Sprintf("nn: Residual branch shapes differ: body %v vs shortcut %v", y.Shape, s.Shape))
+	}
+	out := arenaOf(ctx).Get(y.Shape...)
+	for i, v := range y.Data {
+		out.Data[i] = v + s.Data[i]
+	}
+	return out
+}
+
 // Backward propagates the gradient through both branches and sums the input
 // gradients.
 func (r *Residual) Backward(ctx *Context, dy *tensor.Tensor) *tensor.Tensor {

@@ -98,6 +98,68 @@ func (r *RNN) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
 	return out
 }
 
+// Infer runs the sequence on the read-only inference path: hidden states are
+// written straight into the output tensor (the previous frame doubles as
+// h_{t-1}), the pre-activation buffer is reused across steps, and no
+// backward state is kept.
+func (r *RNN) Infer(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
+	rate := ctx.EffRate()
+	aIn, aH := r.Active(rate)
+	if x.Rank() != 3 || x.Dim(2) != aIn {
+		panic(fmt.Sprintf("nn: RNN.Infer input %v, want [T B %d] at rate %v", x.Shape, aIn, rate))
+	}
+	seqT, batch := x.Dim(0), x.Dim(1)
+	scaleX, scaleH := 1.0, 1.0
+	if r.Rescale {
+		if aIn < r.In {
+			scaleX = float64(r.In) / float64(aIn)
+		}
+		if aH < r.Hidden {
+			scaleH = float64(r.Hidden) / float64(aH)
+		}
+	}
+	arena := arenaOf(ctx)
+	out := arena.Get(seqT, batch, aH)
+	h0 := arena.Get(batch, aH) // zero initial state
+	z := arena.Get(batch, aH)
+	zx := z
+	var zh *tensor.Tensor
+	if scaleX != 1 || scaleH != 1 {
+		zx = arena.Get(batch, aH)
+		zh = arena.Get(batch, aH)
+	}
+	frame := batch * aIn
+	outFrame := batch * aH
+	hPrev := h0.Data
+	b := r.B.Value.Data
+	for t := 0; t < seqT; t++ {
+		xt := x.Data[t*frame : (t+1)*frame]
+		if zh == nil {
+			clear(z.Data)
+			tensor.GemmTB(batch, aH, aIn, xt, aIn, r.Wx.Value.Data, r.In, z.Data, aH)
+			tensor.GemmTB(batch, aH, aH, hPrev, aH, r.Wh.Value.Data, r.Hidden, z.Data, aH)
+		} else {
+			clear(zx.Data)
+			clear(zh.Data)
+			tensor.GemmTB(batch, aH, aIn, xt, aIn, r.Wx.Value.Data, r.In, zx.Data, aH)
+			tensor.GemmTB(batch, aH, aH, hPrev, aH, r.Wh.Value.Data, r.Hidden, zh.Data, aH)
+			for i := range z.Data {
+				z.Data[i] = scaleX*zx.Data[i] + scaleH*zh.Data[i]
+			}
+		}
+		hCur := out.Data[t*outFrame : (t+1)*outFrame]
+		for s := 0; s < batch; s++ {
+			zr := z.Data[s*aH : (s+1)*aH]
+			hr := hCur[s*aH : (s+1)*aH]
+			for j := 0; j < aH; j++ {
+				hr[j] = math.Tanh(zr[j] + b[j])
+			}
+		}
+		hPrev = hCur
+	}
+	return out
+}
+
 // Backward propagates through time and returns dx [T, B, aIn].
 func (r *RNN) Backward(ctx *Context, dy *tensor.Tensor) *tensor.Tensor {
 	if dy.Rank() != 3 || dy.Dim(0) != r.seqT || dy.Dim(1) != r.batch || dy.Dim(2) != r.aH {

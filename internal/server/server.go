@@ -2,8 +2,12 @@
 // inference engine that serves real queries under a latency SLO with the
 // Section 4.1 elastic-batching scheme. Queries accumulate for one T/2
 // wall-clock window; when the window closes the batch is served at the
-// largest slice rate the Equation-3 policy admits, by a pool of workers each
-// holding standalone Extract-ed subnets per rate. Per-rate per-sample times
+// largest slice rate the Equation-3 policy admits, by a pool of workers that
+// share one read-only parent weight set (slicing.Shared): each worker runs
+// the zero-copy inference path with its own activation arena, so server
+// memory is O(params) + O(workers · activations) instead of the
+// O(workers · rates · params) of per-worker Extract-ed replicas, and a
+// shard's batch runs one batched GEMM per layer. Per-rate per-sample times
 // come from an online calibrator rather than the r² idealization, admission
 // control sheds load once even the lowest rate cannot save the next window,
 // and everything is observable over a Prometheus-style /metrics endpoint.
@@ -50,8 +54,9 @@ type Config struct {
 	// SLO is the latency bound T; batches form every T/2.
 	SLO time.Duration
 	// Workers is the number of parallel shards a batch is split across.
-	// Each worker holds its own subnet replicas (layers cache forward
-	// state and are not goroutine-safe). Default: min(4, GOMAXPROCS).
+	// Workers share one read-only weight set (the zero-copy inference path
+	// is goroutine-safe); each holds only a private activation arena.
+	// Default: min(4, GOMAXPROCS).
 	Workers int
 	// QueueFactor scales the admission bound: submissions are rejected
 	// once pending > QueueFactor·capacity(r_min). Default 1.
@@ -105,10 +110,12 @@ type batchJob struct {
 	infeasible bool
 }
 
-// worker holds one replica set of extracted subnets; a worker processes at
-// most one shard at a time.
+// worker owns one activation arena; the weights it reads are the server's
+// single shared parent model. A worker processes at most one shard at a
+// time, so the arena never sees concurrent use.
 type worker struct {
-	subnets map[float64]nn.Layer
+	shared *slicing.Shared
+	arena  *tensor.Arena
 }
 
 // Server is a live SLO-aware inference server.
@@ -170,19 +177,22 @@ func New(cfg Config) (*Server, error) {
 	}
 
 	// Deployable rates: all of them, or just the pinned one in baseline
-	// mode — each worker gets standalone replicas (Section 3.1 extraction)
-	// because layers cache forward state and are single-goroutine.
+	// mode. Every rate is served zero-copy from one shared parent weight
+	// set — the inference path never writes to the model, so the workers
+	// need nothing of their own beyond an activation arena.
 	deploy := cfg.Rates
 	if cfg.FixedRate > 0 {
 		deploy = slicing.RateList{cfg.FixedRate}
 	}
+	if !nn.InferSafe(cfg.Model) {
+		// The Forward fallback caches layer state and would race across
+		// worker shards; fail at construction like the Extract path used to.
+		return nil, errors.New("server: model contains a layer without an Infer implementation; it cannot be served concurrently")
+	}
+	shared := slicing.NewShared(cfg.Model, cfg.Rates)
 	workers := make([]*worker, cfg.Workers)
 	for w := range workers {
-		subnets := make(map[float64]nn.Layer, len(deploy))
-		for _, r := range deploy {
-			subnets[r] = slicing.Extract(cfg.Model, r, cfg.Rates)
-		}
-		workers[w] = &worker{subnets: subnets}
+		workers[w] = &worker{shared: shared, arena: tensor.NewArena()}
 	}
 
 	if cfg.CalibrationBatch <= 0 {
@@ -428,8 +438,8 @@ func (s *Server) dispatchLoop() {
 }
 
 // runBatch splits the batch into contiguous shards, one per worker, and
-// runs them concurrently. Each worker stacks its shard into a single
-// forward pass through its cached subnet replica for the chosen rate.
+// runs them concurrently. Each worker stacks its shard into a single pass
+// through the shared zero-copy inference path at the chosen rate.
 func (s *Server) runBatch(queries []*query, rate float64) {
 	n := len(queries)
 	w := min(len(s.workers), n)
@@ -450,22 +460,25 @@ func (s *Server) runBatch(queries []*query, rate float64) {
 	wg.Wait()
 }
 
-// run forwards one shard as a single batch at the given rate and scatters
-// the output rows back to the queries. The extracted subnets are standalone
-// small models, so they run at full width.
+// run forwards one shard as a single batch at the given rate through the
+// shared zero-copy inference path — one batched GEMM per layer for the whole
+// shard — then scatters the output rows back to the queries. Batch and
+// activation buffers come from the worker's arena; only the per-query result
+// rows are heap-allocated, because they outlive the pass.
 func (wk *worker) run(shard []*query, rate float64, inputShape []int) {
-	net := wk.subnets[rate]
 	n := len(shard)
-	x := tensor.New(append([]int{n}, inputShape...)...)
+	shape := [8]int{n}
+	x := wk.arena.Get(append(shape[:1], inputShape...)...)
 	d := len(shard[0].x.Data)
 	for i, q := range shard {
 		copy(x.Data[i*d:(i+1)*d], q.x.Data)
 	}
-	y := net.Forward(nn.Eval(1), x)
+	y := wk.shared.Infer(rate, x, wk.arena)
 	classes := y.Size() / n
 	for i, q := range shard {
 		row := tensor.New(classes)
 		copy(row.Data, y.Data[i*classes:(i+1)*classes])
 		q.result = row
 	}
+	wk.arena.Reset()
 }

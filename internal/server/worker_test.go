@@ -1,0 +1,114 @@
+package server
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"modelslicing/internal/nn"
+	"modelslicing/internal/slicing"
+	"modelslicing/internal/tensor"
+)
+
+// TestWorkersShareOneWeightSet pins the memory claim of the zero-copy
+// engine: every worker serves from the same Shared instance (O(params)
+// total), rather than holding per-(worker, rate) Extract-ed replicas.
+func TestWorkersShareOneWeightSet(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	model := nn.NewSequential(
+		nn.NewDense(8, 16, nn.Fixed(), nn.Sliced(4), true, rng),
+		nn.NewReLU(),
+		nn.NewDense(16, 3, nn.Sliced(4), nn.Fixed(), true, rng),
+	)
+	s, err := New(Config{
+		Model:      model,
+		Rates:      slicing.NewRateList(0.25, 4),
+		InputShape: []int{8},
+		SLO:        50 * time.Millisecond,
+		Workers:    4,
+		SampleTime: func(r float64) float64 { return 1e-6 * r * r },
+		Clock:      NewFakeClock(time.Unix(0, 0)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	if len(s.workers) != 4 {
+		t.Fatalf("want 4 workers, have %d", len(s.workers))
+	}
+	for i, wk := range s.workers {
+		if wk.shared != s.workers[0].shared {
+			t.Fatalf("worker %d holds a different weight set", i)
+		}
+		if wk.shared.Model() != nn.Layer(model) {
+			t.Fatalf("worker %d does not serve the parent model in place", i)
+		}
+	}
+}
+
+// opaqueLayer is a Layer without an Infer implementation.
+type opaqueLayer struct{}
+
+func (opaqueLayer) Forward(*nn.Context, *tensor.Tensor) *tensor.Tensor  { return nil }
+func (opaqueLayer) Backward(*nn.Context, *tensor.Tensor) *tensor.Tensor { return nil }
+func (opaqueLayer) Params() []*nn.Param                                 { return nil }
+
+// TestServerRejectsNonInferableModel pins the loud-failure contract: a model
+// containing a layer without the read-only inference path must be rejected
+// at construction (the Forward fallback would race across worker shards).
+func TestServerRejectsNonInferableModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	model := nn.NewSequential(
+		nn.NewDense(4, 4, nn.Fixed(), nn.Fixed(), true, rng),
+		opaqueLayer{},
+	)
+	_, err := New(Config{
+		Model:      model,
+		Rates:      slicing.NewRateList(0.25, 4),
+		InputShape: []int{4},
+		SLO:        50 * time.Millisecond,
+		SampleTime: func(r float64) float64 { return 1e-6 },
+		Clock:      NewFakeClock(time.Unix(0, 0)),
+	})
+	if err == nil {
+		t.Fatal("New accepted a model with a non-Inferer layer")
+	}
+}
+
+// TestWorkerRunMatchesDirectInference verifies the sharded arena-backed
+// batch path returns exactly what a direct shared-path inference returns.
+func TestWorkerRunMatchesDirectInference(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	model := nn.NewSequential(
+		nn.NewDense(6, 12, nn.Fixed(), nn.Sliced(4), true, rng),
+		nn.NewReLU(),
+		nn.NewDense(12, 4, nn.Sliced(4), nn.Fixed(), true, rng),
+	)
+	rates := slicing.NewRateList(0.25, 4)
+	shared := slicing.NewShared(model, rates)
+	wk := &worker{shared: shared, arena: tensor.NewArena()}
+
+	const n = 5
+	queries := make([]*query, n)
+	batch := tensor.New(n, 6)
+	for i := range queries {
+		x := tensor.New(6)
+		for j := range x.Data {
+			x.Data[j] = rng.NormFloat64()
+		}
+		queries[i] = &query{x: x}
+		copy(batch.Data[i*6:(i+1)*6], x.Data)
+	}
+	for _, r := range rates {
+		wk.run(queries, r, []int{6})
+		want := shared.Infer(r, batch, nil)
+		for i, q := range queries {
+			row := q.result
+			for j := range row.Data {
+				if row.Data[j] != want.Data[i*4+j] {
+					t.Fatalf("rate %v query %d: sharded result diverges from direct inference", r, i)
+				}
+			}
+		}
+	}
+}

@@ -15,6 +15,10 @@ import (
 // model — the deployment story of Section 3.1 ("a subnet can be readily
 // sliced and deployed out of the network trained with model slicing").
 //
+// Extract is the deployment-export path: use it to ship a small standalone
+// model. For serving many rates live from one process, Shared provides the
+// same outputs zero-copy from the parent's weight buffers.
+//
 // rates supplies the width index for layers with per-width state
 // (SwitchableBatchNorm). Extract panics on layer types it does not know.
 func Extract(layer nn.Layer, r float64, rates RateList) nn.Layer {

@@ -1,0 +1,62 @@
+package slicing
+
+import (
+	"sync"
+
+	"modelslicing/internal/nn"
+	"modelslicing/internal/tensor"
+)
+
+// Shared serves every slice rate from one read-only parent weight set — the
+// zero-copy alternative to deploying Extract-ed subnet copies. Because the
+// GEMM kernels take leading dimensions, slicing at rate r reads the leading
+// prefix of each parent weight buffer in place; nothing is materialized per
+// rate, so serving G rates from W workers costs O(params) memory instead of
+// the O(W·G·params) of per-worker Extract replica sets. Output rescaling
+// (Dense/RNN Rescale) is applied on the activations at inference time, which
+// computes the same function the Extract path bakes into its copied weights.
+//
+// A Shared is safe for concurrent use: the inference path (nn.Infer) never
+// writes to the model, and each call's activations come from the caller's
+// arena. Extract remains the right tool for exporting a standalone small
+// model out of the trained parent (Section 3.1's deployment story); Shared
+// is the right tool for serving many rates live from one process.
+type Shared struct {
+	model nn.Layer
+	rates RateList
+}
+
+// NewShared wraps a trained parent model and its rate list for zero-copy
+// multi-rate inference. The model must not be trained (or otherwise mutated)
+// while the Shared is in use.
+func NewShared(model nn.Layer, rates RateList) *Shared {
+	rates.Validate()
+	return &Shared{model: model, rates: rates}
+}
+
+// Rates returns the deployable slice-rate list.
+func (s *Shared) Rates() RateList { return s.rates }
+
+// Model returns the underlying parent network.
+func (s *Shared) Model() nn.Layer { return s.model }
+
+// ctxPool recycles inference contexts so a steady-state Shared.Infer call
+// allocates nothing (the context escapes into the Layer interface call and
+// would otherwise cost one heap allocation per pass).
+var ctxPool = sync.Pool{New: func() any { return &nn.Context{} }}
+
+// Infer runs one inference pass at slice rate r, drawing activations from
+// arena (which may be nil for heap allocation). The returned tensor's
+// storage is owned by the arena and is valid until the caller resets it.
+// Concurrent callers must use distinct arenas.
+func (s *Shared) Infer(r float64, x *tensor.Tensor, arena *tensor.Arena) *tensor.Tensor {
+	idx := 0
+	if i, err := s.rates.Index(r); err == nil {
+		idx = i
+	}
+	ctx := ctxPool.Get().(*nn.Context)
+	*ctx = nn.Context{Rate: r, WidthIdx: idx, Arena: arena}
+	y := nn.Infer(s.model, ctx, x)
+	ctxPool.Put(ctx)
+	return y
+}

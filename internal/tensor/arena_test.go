@@ -1,0 +1,90 @@
+package tensor
+
+import "testing"
+
+func TestArenaGetZeroed(t *testing.T) {
+	a := NewArena()
+	x := a.Get(3, 4)
+	for i := range x.Data {
+		x.Data[i] = float64(i + 1)
+	}
+	a.Reset()
+	y := a.Get(4, 3)
+	if y.Size() != 12 {
+		t.Fatalf("size %d", y.Size())
+	}
+	for i, v := range y.Data {
+		if v != 0 {
+			t.Fatalf("reused buffer not zeroed at %d: %g", i, v)
+		}
+	}
+	if y.Dim(0) != 4 || y.Dim(1) != 3 {
+		t.Fatalf("shape %v", y.Shape)
+	}
+}
+
+func TestArenaGrowsToHighWater(t *testing.T) {
+	a := NewArena()
+	a.Get(100)
+	a.Get(50)
+	a.Reset()
+	if got := a.Footprint(); got != 150 {
+		t.Fatalf("footprint %d after first cycle, want 150", got)
+	}
+	// Second cycle fits entirely; footprint stable.
+	a.Get(100)
+	a.Get(50)
+	a.Reset()
+	if got := a.Footprint(); got != 150 {
+		t.Fatalf("footprint %d after repeat cycle, want 150", got)
+	}
+	// A bigger cycle grows it again.
+	a.Get(200)
+	a.Reset()
+	if got := a.Footprint(); got < 200 {
+		t.Fatalf("footprint %d after larger cycle, want ≥ 200", got)
+	}
+}
+
+func TestArenaSteadyStateAllocs(t *testing.T) {
+	a := NewArena()
+	warm := func() {
+		x := a.Get(8, 16)
+		y := a.Get(16)
+		_ = a.Wrap(x.Data, 16, 8)
+		_ = y
+		a.Reset()
+	}
+	warm()
+	warm()
+	allocs := testing.AllocsPerRun(100, warm)
+	if allocs != 0 {
+		t.Fatalf("steady-state arena cycle allocates %v times, want 0", allocs)
+	}
+}
+
+func TestArenaNilFallback(t *testing.T) {
+	var a *Arena
+	x := a.Get(2, 2)
+	if x.Size() != 4 {
+		t.Fatalf("nil-arena Get size %d", x.Size())
+	}
+	w := a.Wrap(x.Data, 4)
+	if w.Dim(0) != 4 {
+		t.Fatalf("nil-arena Wrap shape %v", w.Shape)
+	}
+	a.Reset() // must not panic
+	if a.Footprint() != 0 {
+		t.Fatal("nil-arena footprint")
+	}
+}
+
+func TestArenaWrapSharesData(t *testing.T) {
+	a := NewArena()
+	x := a.Get(2, 6)
+	v := a.Wrap(x.Data, 3, 4)
+	v.Data[5] = 7
+	if x.Data[5] != 7 {
+		t.Fatal("Wrap does not alias the underlying data")
+	}
+}

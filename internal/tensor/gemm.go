@@ -1,6 +1,10 @@
 package tensor
 
-import "fmt"
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
 
 // The GEMM kernels below operate on raw row-major slices so that layers can
 // address sliced (prefix) sub-matrices of larger weight buffers without
@@ -11,26 +15,52 @@ import "fmt"
 // ld* are leading dimensions (row strides) of the underlying buffers, which
 // may exceed the logical number of columns when a prefix slice of a wider
 // matrix is being used.
+//
+// All three products funnel into one cache-blocked engine built around a
+// rank-4 axpy micro-kernel: four rows of B are fused into each pass over a C
+// row, so every loaded value feeds multiple multiply-adds and no accumulator
+// dependency chain forms — the pattern Go's scalar codegen schedules best (a
+// register-tiled dot-product micro-kernel loses here because its sixteen
+// live accumulators spill). B panels are blocked to stay L2-resident across
+// the row sweep; transposed operands (Aᵀ for GemmTA, Bᵀ for GemmTB) are
+// packed into row-major panels from a buffer pool so the micro-kernel always
+// streams contiguously; and the row range fans out across goroutines once
+// the problem is big enough to amortize the spawns.
+
+// Blocking parameters.
+const (
+	// kcBlock × ncBlock bounds the B panel kept hot across the row sweep
+	// (256·256·8 B = 512 KiB, inside a server-class L2); mcBlock bounds the
+	// packed Aᵀ block of the GemmTA path to the same pool buffer size.
+	kcBlock = 256
+	ncBlock = 256
+	mcBlock = 256
+
+	// smallGemmFlops gates the packed path for the transposed variants:
+	// below this m·n·k the transpose-copy overhead dominates and the simple
+	// strided loops win.
+	smallGemmFlops = 48 * 48 * 48
+	// parallelGemmFlops gates goroutine fan-out of the row range.
+	parallelGemmFlops = 96 * 96 * 96
+	// minRowsPerWorker keeps fan-out from shredding tiny row counts.
+	minRowsPerWorker = 8
+)
+
+// packPool recycles transpose-packing panels (kcBlock×ncBlock floats) so
+// steady-state GEMM calls allocate nothing.
+var packPool = sync.Pool{
+	New: func() any {
+		buf := make([]float64, kcBlock*ncBlock)
+		return &buf
+	},
+}
 
 // Gemm computes C[m×n] += A[m×k] · B[k×n].
 func Gemm(m, n, k int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
 	checkMat("Gemm A", m, k, lda, len(a))
 	checkMat("Gemm B", k, n, ldb, len(b))
 	checkMat("Gemm C", m, n, ldc, len(c))
-	for i := 0; i < m; i++ {
-		ci := c[i*ldc : i*ldc+n]
-		ai := a[i*lda : i*lda+k]
-		for p := 0; p < k; p++ {
-			av := ai[p]
-			if av == 0 {
-				continue
-			}
-			bp := b[p*ldb : p*ldb+n]
-			for j, bv := range bp {
-				ci[j] += av * bv
-			}
-		}
-	}
+	gemmParallel(m, n, k, a, lda, false, b, ldb, false, c, ldc)
 }
 
 // GemmTA computes C[m×n] += Aᵀ · B where A is stored as [k×m].
@@ -38,11 +68,37 @@ func GemmTA(m, n, k int, a []float64, lda int, b []float64, ldb int, c []float64
 	checkMat("GemmTA A", k, m, lda, len(a))
 	checkMat("GemmTA B", k, n, ldb, len(b))
 	checkMat("GemmTA C", m, n, ldc, len(c))
+	if m*n*k < smallGemmFlops {
+		gemmTASimple(m, n, k, a, lda, b, ldb, c, ldc)
+		return
+	}
+	gemmParallel(m, n, k, a, lda, true, b, ldb, false, c, ldc)
+}
+
+// GemmTB computes C[m×n] += A · Bᵀ where B is stored as [n×k].
+func GemmTB(m, n, k int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
+	checkMat("GemmTB A", m, k, lda, len(a))
+	checkMat("GemmTB B", n, k, ldb, len(b))
+	checkMat("GemmTB C", m, n, ldc, len(c))
+	if m*n*k < smallGemmFlops {
+		gemmTBSimple(m, n, k, a, lda, b, ldb, c, ldc)
+		return
+	}
+	gemmParallel(m, n, k, a, lda, false, b, ldb, true, c, ldc)
+}
+
+// --- simple strided paths for small transposed products ---
+
+func gemmTASimple(m, n, k int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
 	for p := 0; p < k; p++ {
 		ap := a[p*lda : p*lda+m]
 		bp := b[p*ldb : p*ldb+n]
 		for i, av := range ap {
 			if av == 0 {
+				// Gradients arriving through ReLU/dropout masks are often
+				// exactly zero; skipping whole axpy rows is a real win on
+				// this backward-path kernel (unlike the forward Gemm, where
+				// the same branch was pure inner-loop cost and is gone).
 				continue
 			}
 			ci := c[i*ldc : i*ldc+n]
@@ -53,30 +109,170 @@ func GemmTA(m, n, k int, a []float64, lda int, b []float64, ldb int, c []float64
 	}
 }
 
-// GemmTB computes C[m×n] += A · Bᵀ where B is stored as [n×k].
-func GemmTB(m, n, k int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
-	checkMat("GemmTB A", m, k, lda, len(a))
-	checkMat("GemmTB B", n, k, ldb, len(b))
-	checkMat("GemmTB C", m, n, ldc, len(c))
+func gemmTBSimple(m, n, k int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
 	for i := 0; i < m; i++ {
 		ai := a[i*lda : i*lda+k]
 		ci := c[i*ldc : i*ldc+n]
 		for j := 0; j < n; j++ {
 			bj := b[j*ldb : j*ldb+k]
-			s := 0.0
-			for p, av := range ai {
-				s += av * bj[p]
+			// Four partial sums break the serial dependence on a single
+			// accumulator.
+			var s0, s1, s2, s3 float64
+			p := 0
+			for ; p+3 < k; p += 4 {
+				s0 += ai[p] * bj[p]
+				s1 += ai[p+1] * bj[p+1]
+				s2 += ai[p+2] * bj[p+2]
+				s3 += ai[p+3] * bj[p+3]
 			}
-			ci[j] += s
+			for ; p < k; p++ {
+				s0 += ai[p] * bj[p]
+			}
+			ci[j] += s0 + s1 + s2 + s3
 		}
 	}
 }
 
+// --- blocked engine ---
+
+// gemmParallel fans the row range out across goroutines when the problem is
+// large enough, then runs the serial blocked engine per chunk. Each worker
+// packs its own panels, so no synchronization beyond the final wait is
+// needed; transposed panels are re-packed per worker, an O(k·n) duplication
+// that is noise next to the O(m·n·k/P) compute per worker.
+func gemmParallel(m, n, k int, a []float64, lda int, aTrans bool, b []float64, ldb int, bTrans bool, c []float64, ldc int) {
+	workers := runtime.GOMAXPROCS(0)
+	if maxW := m / minRowsPerWorker; workers > maxW {
+		workers = maxW
+	}
+	if workers <= 1 || m*n*k < parallelGemmFlops {
+		gemmBlocked(m, n, k, a, lda, aTrans, b, ldb, bTrans, c, ldc)
+		return
+	}
+	chunk := (m + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < m; lo += chunk {
+		hi := lo + chunk
+		if hi > m {
+			hi = m
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			rows := hi - lo
+			if aTrans {
+				// A is [k×m]; a row offset of the logical product is a
+				// column offset in storage.
+				gemmBlocked(rows, n, k, a[lo:], lda, true, b, ldb, bTrans, c[lo*ldc:], ldc)
+			} else {
+				gemmBlocked(rows, n, k, a[lo*lda:], lda, false, b, ldb, bTrans, c[lo*ldc:], ldc)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// gemmBlocked runs C += op(A)·op(B) one (kc × nc) B panel at a time: the
+// panel stays L2-resident while the C rows sweep across it, and C is
+// revisited only k/kc times. Straight operands stream directly from the
+// caller's buffers; transposed operands are packed into row-major scratch
+// panels first. The ic loop only subdivides the rows when a packed Aᵀ block
+// must fit the pool buffer (GemmTA); otherwise it runs once over all rows.
+func gemmBlocked(m, n, k int, a []float64, lda int, aTrans bool, b []float64, ldb int, bTrans bool, c []float64, ldc int) {
+	var aPack, bPack []float64
+	if aTrans {
+		buf := packPool.Get().(*[]float64)
+		defer packPool.Put(buf)
+		aPack = *buf
+	}
+	if bTrans {
+		buf := packPool.Get().(*[]float64)
+		defer packPool.Put(buf)
+		bPack = *buf
+	}
+	icStep := m
+	if aTrans {
+		icStep = mcBlock
+	}
+	for pc := 0; pc < k; pc += kcBlock {
+		kcb := min(kcBlock, k-pc)
+		for ic := 0; ic < m; ic += icStep {
+			mcb := min(icStep, m-ic)
+			var ablk []float64
+			ldab := lda
+			if aTrans {
+				// ablk[i×kcb] = A[pc:pc+kcb, ic:ic+mcb]ᵀ.
+				packTrans(aPack, mcb, kcb, a, lda, pc, ic)
+				ablk, ldab = aPack, kcb
+			} else {
+				ablk = a[ic*lda+pc:]
+			}
+			for jc := 0; jc < n; jc += ncBlock {
+				ncb := min(ncBlock, n-jc)
+				var bp []float64
+				ldbp := ldb
+				if bTrans {
+					// bp[p×ncb] = B[jc:jc+ncb, pc:pc+kcb]ᵀ.
+					packTrans(bPack, kcb, ncb, b, ldb, jc, pc)
+					bp, ldbp = bPack, ncb
+				} else {
+					bp = b[pc*ldb+jc:]
+				}
+				gemmPanel(mcb, ncb, kcb, ablk, ldab, bp, ldbp, c[ic*ldc+jc:], ldc)
+			}
+		}
+	}
+}
+
+// gemmPanel is the rank-4 axpy micro-kernel: C[rows×ncb] += A[rows×kcb] ·
+// B[kcb×ncb], walking each C row once per four B rows so every iteration of
+// the fused inner loop runs eight independent multiply-adds over five
+// contiguous streams.
+func gemmPanel(rows, ncb, kcb int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
+	for i := 0; i < rows; i++ {
+		ai := a[i*lda : i*lda+kcb]
+		ci := c[i*ldc : i*ldc+ncb]
+		p := 0
+		for ; p+4 <= kcb; p += 4 {
+			a0, a1, a2, a3 := ai[p], ai[p+1], ai[p+2], ai[p+3]
+			b0 := b[p*ldb : p*ldb+ncb]
+			b1 := b[(p+1)*ldb : (p+1)*ldb+ncb]
+			b2 := b[(p+2)*ldb : (p+2)*ldb+ncb]
+			b3 := b[(p+3)*ldb : (p+3)*ldb+ncb]
+			for j, bv := range b0 {
+				ci[j] += a0*bv + a1*b1[j] + a2*b2[j] + a3*b3[j]
+			}
+		}
+		for ; p < kcb; p++ {
+			av := ai[p]
+			bp := b[p*ldb : p*ldb+ncb]
+			for j, bv := range bp {
+				ci[j] += av * bv
+			}
+		}
+	}
+}
+
+// packTrans writes dst[rows×cols] = src[r0:r0+cols, c0:c0+rows]ᵀ for a
+// row-major src with stride ld, i.e. dst[i·cols+j] = src[(r0+j)·ld + c0+i].
+// Reads run along src rows (contiguous); writes stride by cols, which the
+// blocked caller keeps cache-sized.
+func packTrans(dst []float64, rows, cols int, src []float64, ld, r0, c0 int) {
+	for j := 0; j < cols; j++ {
+		s := src[(r0+j)*ld+c0 : (r0+j)*ld+c0+rows]
+		for i, v := range s {
+			dst[i*cols+j] = v
+		}
+	}
+}
+
+// --- matrix–vector kernels ---
+
 // MatVec computes y[m] += A[m×k] · x[k].
 func MatVec(m, k int, a []float64, lda int, x, y []float64) {
-	if len(x) < k || len(y) < m {
-		panic(fmt.Sprintf("tensor: MatVec operand too short (m=%d k=%d |x|=%d |y|=%d)", m, k, len(x), len(y)))
-	}
+	checkMat("MatVec A", m, k, lda, len(a))
+	checkVec("MatVec x", k, len(x))
+	checkVec("MatVec y", m, len(y))
 	for i := 0; i < m; i++ {
 		ai := a[i*lda : i*lda+k]
 		s := 0.0
@@ -89,9 +285,9 @@ func MatVec(m, k int, a []float64, lda int, x, y []float64) {
 
 // MatTVec computes y[k] += Aᵀ · x where A is stored as [m×k].
 func MatTVec(m, k int, a []float64, lda int, x, y []float64) {
-	if len(x) < m || len(y) < k {
-		panic(fmt.Sprintf("tensor: MatTVec operand too short (m=%d k=%d |x|=%d |y|=%d)", m, k, len(x), len(y)))
-	}
+	checkMat("MatTVec A", m, k, lda, len(a))
+	checkVec("MatTVec x", m, len(x))
+	checkVec("MatTVec y", k, len(y))
 	for i := 0; i < m; i++ {
 		xv := x[i]
 		if xv == 0 {
@@ -106,6 +302,9 @@ func MatTVec(m, k int, a []float64, lda int, x, y []float64) {
 
 // OuterAcc computes A[m×k] += x[m] ⊗ y[k] (rank-1 update).
 func OuterAcc(m, k int, a []float64, lda int, x, y []float64) {
+	checkMat("OuterAcc A", m, k, lda, len(a))
+	checkVec("OuterAcc x", m, len(x))
+	checkVec("OuterAcc y", k, len(y))
 	for i := 0; i < m; i++ {
 		xv := x[i]
 		if xv == 0 {
@@ -126,5 +325,13 @@ func checkMat(name string, rows, cols, ld, length int) {
 	}
 	if rows > 0 && (rows-1)*ld+cols > length {
 		panic(fmt.Sprintf("tensor: %s buffer too short: need %d, have %d", name, (rows-1)*ld+cols, length))
+	}
+}
+
+// checkVec validates that a vector operand holds at least n elements,
+// reporting failures in the same style as checkMat.
+func checkVec(name string, n, length int) {
+	if n > length {
+		panic(fmt.Sprintf("tensor: %s buffer too short: need %d, have %d", name, n, length))
 	}
 }

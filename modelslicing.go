@@ -116,6 +116,32 @@ func Extract(model Layer, r float64, rates RateList) Layer {
 	return slicing.Extract(model, r, rates)
 }
 
+// Zero-copy inference engine. Shared serves every slice rate in place from
+// one read-only parent weight set (no Extract copies), and Arena recycles
+// activation buffers so steady-state inference performs no heap allocation.
+type (
+	// Shared is the zero-copy multi-rate serving handle; safe for
+	// concurrent use with per-goroutine arenas.
+	Shared = slicing.Shared
+	// Arena is a reusable activation-buffer arena for one goroutine.
+	Arena = tensor.Arena
+)
+
+// NewShared wraps a trained model for zero-copy multi-rate inference.
+func NewShared(model Layer, rates RateList) *Shared {
+	return slicing.NewShared(model, rates)
+}
+
+// NewArena returns an empty activation arena; it grows to the high-water
+// mark of the first inference pass and is then reused via Reset.
+func NewArena() *Arena { return tensor.NewArena() }
+
+// MeasureSampleTimes calibrates per-sample inference seconds t(r) at every
+// rate by timing the zero-copy path, for use as Policy.SampleTime.
+func MeasureSampleTimes(model Layer, rates RateList, inShape []int, batch int) func(r float64) float64 {
+	return serving.MeasureSampleTimes(model, rates, inShape, batch)
+}
+
 // CostProfile reports multiply-accumulates, resident parameters and
 // activation volume of one forward pass.
 type CostProfile = cost.Profile
