@@ -7,14 +7,23 @@
 //	msbench -exp table1 -scale small -seed 42
 //	msbench -exp all -scale tiny
 //	msbench -list
-//	msbench -json              # write BENCH_<unix>.json perf snapshot
-//	msbench -json -out p.json  # write to an explicit path
+//	msbench -json                       # write BENCH_<unix>.json perf snapshot
+//	msbench -json -out p.json           # write to an explicit path
+//	msbench -compare old.json           # regression gate: rerun and diff
+//	msbench -compare old.json -slowdown 1.5
+//
+// -compare runs a fresh perf suite, diffs it against a prior BENCH_*.json
+// (per-size GEMM ns/op, per-rate shared-path ns/sample) and exits non-zero
+// if anything slowed down past the -slowdown factor — the CI regression gate
+// for the inference hot path. It composes with -json/-out to also persist
+// the fresh snapshot.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"runtime"
@@ -36,6 +45,8 @@ func main() {
 	list := flag.Bool("list", false, "list available experiments")
 	jsonOut := flag.Bool("json", false, "run the perf suite and write a BENCH_*.json snapshot")
 	outPath := flag.String("out", "", "output path for -json (default BENCH_<unix>.json)")
+	comparePath := flag.String("compare", "", "prior BENCH_*.json to diff a fresh run against; exit 1 past -slowdown")
+	slowdown := flag.Float64("slowdown", 1.25, "max tolerated slowdown factor for -compare (new/old ns)")
 	flag.Parse()
 
 	if *list {
@@ -44,8 +55,26 @@ func main() {
 		}
 		return
 	}
+	if *comparePath != "" {
+		rep := collectBench()
+		if *jsonOut || *outPath != "" {
+			if err := writeBenchJSON(rep, *outPath); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		ok, err := compareBench(os.Stdout, *comparePath, rep, *slowdown)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if !ok {
+			os.Exit(1)
+		}
+		return
+	}
 	if *jsonOut {
-		if err := writeBenchJSON(*outPath); err != nil {
+		if err := writeBenchJSON(collectBench(), *outPath); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -106,9 +135,9 @@ type inferencePoint struct {
 	SampleTimeSeconds  float64 `json:"sample_time_seconds"` // serving calibration of t(r)
 }
 
-// writeBenchJSON runs the perf suite with the testing harness and writes the
-// snapshot; path defaults to BENCH_<unix>.json in the working directory.
-func writeBenchJSON(path string) error {
+// collectBench runs the perf suite with the testing harness and returns the
+// snapshot.
+func collectBench() benchReport {
 	rep := benchReport{
 		Timestamp:  time.Now().UTC().Format(time.RFC3339),
 		GoOS:       runtime.GOOS,
@@ -182,7 +211,12 @@ func writeBenchJSON(path string) error {
 			SampleTimeSeconds:  sampleTime(rate),
 		})
 	}
+	return rep
+}
 
+// writeBenchJSON persists a snapshot; path defaults to BENCH_<unix>.json in
+// the working directory.
+func writeBenchJSON(rep benchReport, path string) error {
 	if path == "" {
 		path = fmt.Sprintf("BENCH_%d.json", time.Now().Unix())
 	}
@@ -195,4 +229,81 @@ func writeBenchJSON(path string) error {
 	}
 	fmt.Println(path)
 	return nil
+}
+
+// compareBench diffs a fresh report against a prior snapshot, writing a
+// per-metric table to w, and reports whether every matched metric stayed
+// within the slowdown factor (new ns ≤ old ns · slowdown). Metrics present
+// on only one side (a new GEMM size, a changed rate list) are reported but
+// never fail the gate.
+func compareBench(w io.Writer, oldPath string, fresh benchReport, slowdown float64) (ok bool, err error) {
+	data, err := os.ReadFile(oldPath)
+	if err != nil {
+		return false, fmt.Errorf("msbench: -compare: %w", err)
+	}
+	var old benchReport
+	if err := json.Unmarshal(data, &old); err != nil {
+		return false, fmt.Errorf("msbench: -compare %s: %w", oldPath, err)
+	}
+	if slowdown <= 0 {
+		return false, fmt.Errorf("msbench: -slowdown must be positive, got %v", slowdown)
+	}
+
+	ok = true
+	fmt.Fprintf(w, "comparing against %s (recorded %s, %s/%s, GOMAXPROCS %d)\n",
+		oldPath, old.Timestamp, old.GoOS, old.GoArch, old.GoMaxProcs)
+	fmt.Fprintf(w, "%-28s %14s %14s %8s\n", "metric", "old", "new", "ratio")
+	row := func(name string, oldNs, newNs float64) {
+		ratio := newNs / oldNs
+		verdict := ""
+		if ratio > slowdown {
+			verdict = "  REGRESSION"
+			ok = false
+		}
+		fmt.Fprintf(w, "%-28s %12.0fns %12.0fns %7.2fx%s\n", name, oldNs, newNs, ratio, verdict)
+	}
+	oldGemm := make(map[int]gemmPoint, len(old.Gemm))
+	for _, g := range old.Gemm {
+		oldGemm[g.Size] = g
+	}
+	matchedGemm := make(map[int]bool, len(fresh.Gemm))
+	for _, g := range fresh.Gemm {
+		matchedGemm[g.Size] = true
+		og, found := oldGemm[g.Size]
+		if !found || og.NsPerOp <= 0 {
+			fmt.Fprintf(w, "%-28s %14s %12.0fns\n", fmt.Sprintf("gemm %d (no baseline)", g.Size), "-", g.NsPerOp)
+			continue
+		}
+		row(fmt.Sprintf("gemm %d³ ns/op", g.Size), og.NsPerOp, g.NsPerOp)
+	}
+	for _, g := range old.Gemm {
+		if !matchedGemm[g.Size] {
+			fmt.Fprintf(w, "%-28s %12.0fns %14s\n", fmt.Sprintf("gemm %d (removed)", g.Size), g.NsPerOp, "-")
+		}
+	}
+	oldInf := make(map[float64]inferencePoint, len(old.Inference))
+	for _, p := range old.Inference {
+		oldInf[p.Rate] = p
+	}
+	matchedInf := make(map[float64]bool, len(fresh.Inference))
+	for _, p := range fresh.Inference {
+		matchedInf[p.Rate] = true
+		op, found := oldInf[p.Rate]
+		if !found || op.NsPerSampleShared <= 0 {
+			fmt.Fprintf(w, "%-28s %14s %12.0fns\n", fmt.Sprintf("rate %.2f (no baseline)", p.Rate), "-", p.NsPerSampleShared)
+			continue
+		}
+		row(fmt.Sprintf("rate %.2f ns/sample", p.Rate), op.NsPerSampleShared, p.NsPerSampleShared)
+	}
+	for _, p := range old.Inference {
+		if !matchedInf[p.Rate] {
+			fmt.Fprintf(w, "%-28s %12.0fns %14s\n", fmt.Sprintf("rate %.2f (removed)", p.Rate), p.NsPerSampleShared, "-")
+		}
+	}
+	if ok {
+		fmt.Fprintf(w, "OK: no metric slowed past %.2fx\n", slowdown)
+	} else {
+		fmt.Fprintf(w, "FAIL: slowdown past %.2fx detected\n", slowdown)
+	}
+	return ok, nil
 }

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeReport(t *testing.T, rep benchReport) string {
+	t.Helper()
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "old.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func sampleReport(gemmNs, infNs float64) benchReport {
+	return benchReport{
+		Timestamp: "2026-01-01T00:00:00Z", GoOS: "linux", GoArch: "amd64", GoMaxProcs: 1,
+		Gemm: []gemmPoint{{Size: 64, NsPerOp: gemmNs}, {Size: 128, NsPerOp: 8 * gemmNs}},
+		Inference: []inferencePoint{
+			{Rate: 0.25, NsPerSampleShared: infNs},
+			{Rate: 1, NsPerSampleShared: 4 * infNs},
+		},
+	}
+}
+
+// TestCompareBenchWithinThreshold: identical metrics pass any threshold > 1.
+func TestCompareBenchWithinThreshold(t *testing.T) {
+	old := sampleReport(1000, 5000)
+	path := writeReport(t, old)
+	var buf bytes.Buffer
+	ok, err := compareBench(&buf, path, old, 1.25)
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v\n%s", ok, err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "OK: no metric slowed past 1.25x") {
+		t.Fatalf("missing verdict line:\n%s", buf.String())
+	}
+}
+
+// TestCompareBenchDetectsRegression: a metric past the slowdown factor fails
+// the gate and is called out.
+func TestCompareBenchDetectsRegression(t *testing.T) {
+	path := writeReport(t, sampleReport(1000, 5000))
+	fresh := sampleReport(1000, 5000)
+	fresh.Inference[1].NsPerSampleShared *= 2 // rate 1.0 got 2x slower
+	var buf bytes.Buffer
+	ok, err := compareBench(&buf, path, fresh, 1.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatalf("2x slowdown passed a 1.25x gate:\n%s", buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "REGRESSION") || !strings.Contains(out, "rate 1.00 ns/sample") {
+		t.Fatalf("regression not attributed:\n%s", out)
+	}
+	// Speedups and in-threshold metrics must not be flagged.
+	if strings.Count(out, "REGRESSION") != 1 {
+		t.Fatalf("want exactly one flagged metric:\n%s", out)
+	}
+}
+
+// TestCompareBenchSkipsUnmatchedMetrics: metrics without a baseline, and
+// baseline metrics absent from the fresh run, are reported but never fail
+// the gate.
+func TestCompareBenchSkipsUnmatchedMetrics(t *testing.T) {
+	old := sampleReport(1000, 5000)
+	old.Gemm = old.Gemm[:1]           // drop size 128 from the baseline
+	old.Inference = old.Inference[:1] // drop rate 1.0
+	path := writeReport(t, old)
+	var buf bytes.Buffer
+	ok, err := compareBench(&buf, path, sampleReport(1000, 5000), 1.25)
+	if err != nil || !ok {
+		t.Fatalf("unmatched metrics failed the gate: ok=%v err=%v\n%s", ok, err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "no baseline") {
+		t.Fatalf("unmatched metrics not reported:\n%s", buf.String())
+	}
+
+	// The mirror case: metrics recorded in the baseline but missing from
+	// the fresh run must be called out as removed, not silently dropped.
+	fullPath := writeReport(t, sampleReport(1000, 5000))
+	fresh := sampleReport(1000, 5000)
+	fresh.Gemm = fresh.Gemm[:1]
+	fresh.Inference = fresh.Inference[:1]
+	buf.Reset()
+	ok, err = compareBench(&buf, fullPath, fresh, 1.25)
+	if err != nil || !ok {
+		t.Fatalf("removed metrics failed the gate: ok=%v err=%v\n%s", ok, err, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "gemm 128 (removed)") || !strings.Contains(out, "rate 1.00 (removed)") {
+		t.Fatalf("removed metrics not reported:\n%s", out)
+	}
+}
+
+// TestCompareBenchErrors: unreadable or malformed baselines and non-positive
+// thresholds are errors, not silent passes.
+func TestCompareBenchErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := compareBench(&buf, filepath.Join(t.TempDir(), "missing.json"), sampleReport(1, 1), 1.25); err == nil {
+		t.Fatal("missing baseline accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := compareBench(&buf, bad, sampleReport(1, 1), 1.25); err == nil {
+		t.Fatal("malformed baseline accepted")
+	}
+	good := writeReport(t, sampleReport(1, 1))
+	if _, err := compareBench(&buf, good, sampleReport(1, 1), 0); err == nil {
+		t.Fatal("non-positive slowdown accepted")
+	}
+}

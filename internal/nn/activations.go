@@ -32,12 +32,15 @@ func (r *ReLU) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
 	return y
 }
 
-// Infer computes max(x, 0) without caching the mask (read-only path).
+// Infer computes max(x, 0) without caching the mask (read-only path). Every
+// element is written, so the output skips the arena's zero fill.
 func (r *ReLU) Infer(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
-	y := arenaOf(ctx).Get(x.Shape...)
+	y := arenaOf(ctx).GetUninit(x.Shape...)
 	for i, v := range x.Data {
 		if v > 0 {
 			y.Data[i] = v
+		} else {
+			y.Data[i] = 0
 		}
 	}
 	return y

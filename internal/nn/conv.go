@@ -109,12 +109,38 @@ func (c *Conv2D) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
 	return y
 }
 
-// Infer computes y[B, aOut, outH, outW] on the read-only inference path.
-// Samples are processed sequentially with one arena-backed im2col scratch
-// buffer — batch-level parallelism belongs to the caller (the server shards
-// batches across workers), and the blocked GEMM parallelizes large products
-// internally.
+// convScratchCap bounds the im2col scratch a single conv lowering may hold,
+// in float64 elements (1 Mi elements = 8 MiB). Whole-batch lowering packs the
+// entire batch into one column matrix; when colRows·batch·spatial exceeds the
+// cap, the batch is tiled into the largest sample count that fits, so huge
+// batches cannot blow up the arena's high-water mark. Variable so tests can
+// shrink it to force multi-tile runs.
+var convScratchCap = 1 << 20
+
+// convWideGemm decides whether the whole-batch (wide) GEMM layout is worth
+// its extra memory traffic for a tile of the given product shape — i.e.
+// whether the engine would fan it out across goroutines. Swappable so tests
+// can force either lowering on any host.
+var convWideGemm = tensor.GemmWillParallelize
+
+// Infer computes y[B, aOut, outH, outW] on the read-only inference path by
+// lowering the whole batch at once: one im2col matrix of shape
+// [aIn·KH·KW × B·outH·outW] (tiled by convScratchCap) feeds a single wide
+// GEMM, whose n dimension is large enough for the blocked engine's panel
+// reuse and goroutine fan-out to engage even when the per-sample spatial
+// extent is tiny. The bias is applied as a fused GEMM epilogue.
 func (c *Conv2D) Infer(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
+	var ep *tensor.Epilogue
+	if c.B != nil {
+		ep = &tensor.Epilogue{RowShift: c.B.Value.Data}
+	}
+	return c.inferFused(ctx, x, ep)
+}
+
+// inferFused is the whole-batch lowering behind Infer with a caller-supplied
+// GEMM epilogue (which must already include the conv bias when it is
+// non-nil — the fusion pass folds it into the normalization shift).
+func (c *Conv2D) inferFused(ctx *Context, x *tensor.Tensor, ep *tensor.Epilogue) *tensor.Tensor {
 	r := ctx.EffRate()
 	aIn, aOut := c.Active(r)
 	if x.Rank() != 4 || x.Dim(1) != aIn {
@@ -124,7 +150,9 @@ func (c *Conv2D) Infer(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
 	h, w := x.Dim(2), x.Dim(3)
 	outH, outW := c.OutShape(h, w)
 	arena := arenaOf(ctx)
-	y := arena.Get(batch, aOut, outH, outW)
+	// Every output element is written by the assign-mode GEMM (directly or
+	// via the tile scatter), so the buffers can skip the arena's zero fill.
+	y := arena.GetUninit(batch, aOut, outH, outW)
 
 	inPlane := aIn * h * w
 	outPlane := aOut * outH * outW
@@ -132,19 +160,56 @@ func (c *Conv2D) Infer(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
 	colRows := aIn * c.KH * c.KW
 	ldW := c.In * c.KH * c.KW
 
-	col := arena.Get(colRows * spatial)
-	for b := 0; b < batch; b++ {
-		src := x.Data[b*inPlane : (b+1)*inPlane]
-		tensor.Im2Col(src, aIn, h, w, c.KH, c.KW, c.Stride, c.Pad, col.Data)
-		dst := y.Data[b*outPlane : (b+1)*outPlane]
-		tensor.Gemm(aOut, spatial, colRows, c.W.Value.Data, ldW, col.Data, spatial, dst, spatial)
-		if c.B != nil {
-			for oc := 0; oc < aOut; oc++ {
-				bias := c.B.Value.Data[oc]
-				plane := dst[oc*spatial : (oc+1)*spatial]
-				for i := range plane {
-					plane[i] += bias
-				}
+	// Tile the batch so the lowering scratch stays under convScratchCap.
+	// The wide layout holds both the im2col matrix (colRows rows) and the
+	// channel-major output tile (aOut rows) at tb·spatial columns each, so
+	// both enter the divisor — otherwise a small-kernel/wide-output conv
+	// (colRows ≪ aOut) could blow the cap through the scatter buffer alone.
+	tb := batch
+	if perSample := (colRows + aOut) * spatial; perSample > 0 && perSample*tb > convScratchCap {
+		tb = max(convScratchCap/perSample, 1)
+	}
+	// The whole-batch layout only pays off when its wide GEMM actually fans
+	// out across cores: it streams the full tile's columns through memory
+	// and scatters the channel-major result back into y. When the product
+	// would run serially anyway (small shapes, single-core hosts), the
+	// per-sample lowering wins — each sample's column matrix is consumed by
+	// its GEMM while still cache-hot, with the same fused epilogue.
+	if tb <= 1 || !convWideGemm(aOut, tb*spatial, colRows) {
+		col := arena.GetUninit(colRows, spatial)
+		for b := 0; b < batch; b++ {
+			src := x.Data[b*inPlane : (b+1)*inPlane]
+			tensor.Im2ColInto(src, aIn, h, w, c.KH, c.KW, c.Stride, c.Pad, col.Data, spatial, 0)
+			tensor.GemmEx(aOut, spatial, colRows, c.W.Value.Data, ldW, col.Data, spatial,
+				y.Data[b*outPlane:(b+1)*outPlane], spatial, ep)
+		}
+		return y
+	}
+	col := arena.GetUninit(colRows, tb*spatial)
+	// Multi-sample tiles produce [aOut × nb·spatial] in channel-major tile
+	// layout; rows are scattered back into y's sample-major layout with one
+	// contiguous copy per (channel, sample).
+	out := arena.GetUninit(aOut, tb*spatial)
+	for b0 := 0; b0 < batch; b0 += tb {
+		nb := min(tb, batch-b0)
+		tileCols := nb * spatial
+		for bb := 0; bb < nb; bb++ {
+			src := x.Data[(b0+bb)*inPlane : (b0+bb+1)*inPlane]
+			tensor.Im2ColInto(src, aIn, h, w, c.KH, c.KW, c.Stride, c.Pad, col.Data, tileCols, bb*spatial)
+		}
+		if nb == 1 {
+			// A single-sample tile's layout matches y directly.
+			tensor.GemmEx(aOut, spatial, colRows, c.W.Value.Data, ldW, col.Data, tileCols,
+				y.Data[b0*outPlane:(b0+1)*outPlane], spatial, ep)
+			continue
+		}
+		tensor.GemmEx(aOut, tileCols, colRows, c.W.Value.Data, ldW, col.Data, tileCols,
+			out.Data, tileCols, ep)
+		for oc := 0; oc < aOut; oc++ {
+			row := out.Data[oc*tileCols : (oc+1)*tileCols]
+			for bb := 0; bb < nb; bb++ {
+				dst := y.Data[(b0+bb)*outPlane+oc*spatial:]
+				copy(dst[:spatial], row[bb*spatial:(bb+1)*spatial])
 			}
 		}
 	}

@@ -85,28 +85,32 @@ func (d *Dense) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
 
 // Infer computes y[B × aOut] from x[B × aIn] on the read-only inference
 // path: no state is cached, the sliced weight prefix is read in place, and
-// the output comes from the context's arena.
+// the output comes from the context's arena. Rescaling and bias ride the
+// GEMM epilogue — one pass over the output instead of three.
 func (d *Dense) Infer(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
+	return d.inferFused(ctx, x, false)
+}
+
+// inferFused is Infer with an optionally fused trailing ReLU (used by the
+// peephole fusion pass for Dense→ReLU chains). In the [B × aOut] output the
+// output unit is the column index, so the bias is a per-column epilogue
+// shift and the rescale factor is the uniform Alpha.
+func (d *Dense) inferFused(ctx *Context, x *tensor.Tensor, relu bool) *tensor.Tensor {
 	r := ctx.EffRate()
 	aIn, aOut := d.Active(r)
 	if x.Rank() != 2 || x.Dim(1) != aIn {
 		panic(fmt.Sprintf("nn: Dense.Infer input %v, want [B %d] at rate %v", x.Shape, aIn, r))
 	}
 	batch := x.Dim(0)
-	y := arenaOf(ctx).Get(batch, aOut)
-	tensor.GemmTB(batch, aOut, aIn, x.Data, aIn, d.W.Value.Data, d.In, y.Data, aOut)
+	y := arenaOf(ctx).GetUninit(batch, aOut)
+	ep := tensor.Epilogue{ReLU: relu}
 	if d.Rescale && aIn < d.In {
-		y.Scale(float64(d.In) / float64(aIn))
+		ep.Alpha = float64(d.In) / float64(aIn)
 	}
 	if d.B != nil {
-		b := d.B.Value.Data
-		for i := 0; i < batch; i++ {
-			row := y.Row(i)
-			for j := 0; j < aOut; j++ {
-				row[j] += b[j]
-			}
-		}
+		ep.ColShift = d.B.Value.Data
 	}
+	tensor.GemmTBEx(batch, aOut, aIn, x.Data, aIn, d.W.Value.Data, d.In, y.Data, aOut, &ep)
 	return y
 }
 

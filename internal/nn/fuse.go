@@ -1,0 +1,281 @@
+package nn
+
+import (
+	"fmt"
+
+	"modelslicing/internal/tensor"
+)
+
+// Inference-time peephole fusion. Fuse rewrites a layer graph into an
+// inference-optimized view that shares the original parameters: chains that
+// the eager path executes as separate full passes over the activations are
+// collapsed into single fused operators built on the GEMM epilogue
+// (tensor.GemmEx / tensor.GemmTBEx) and the fused-activation normalization
+// kernels:
+//
+//	Conv2D → BatchNorm/SwitchableBatchNorm (→ ReLU)  ⇒  one GEMM with a
+//	    folded per-channel scale/shift (+ clamp) epilogue. The running
+//	    statistics are folded at Fuse time into O(widths·channels) vectors
+//	    (BatchNorm.FoldedAffine), with the conv bias absorbed into the shift.
+//	Conv2D → ReLU                                    ⇒  one GEMM, clamp
+//	    (+ bias) in the epilogue.
+//	Dense → ReLU                                     ⇒  one GEMM with bias,
+//	    rescale and clamp in the epilogue.
+//	GroupNorm/BatchNorm/SwitchableBatchNorm → ReLU   ⇒  the clamp rides the
+//	    normalization's write pass. (GroupNorm statistics are per-sample and
+//	    data-dependent, so the normalization itself can never fold into the
+//	    preceding GEMM; this is the best available fusion.)
+//
+// The fused view is for the read-only inference path: its Infer is
+// numerically within 1e-12 of the unfused chain (bit-identical except where
+// BatchNorm folding refactors the arithmetic), while Forward/Backward
+// delegate to the original layers, so the view remains a well-formed Layer.
+// Weights are shared, not copied — a model must not be trained while a fused
+// view of it is serving, and BatchNorm folds must be rebuilt (re-Fuse) after
+// any further training.
+
+// Fuse returns an inference-optimized view of l sharing its parameters.
+// Layers with nothing to fuse are returned as-is; Sequential and Residual
+// containers are rebuilt with fused children.
+func Fuse(l Layer) Layer {
+	switch v := l.(type) {
+	case *Sequential:
+		return fuseSequential(v)
+	case *Residual:
+		r := &Residual{Body: Fuse(v.Body)}
+		if v.Short != nil {
+			r.Short = Fuse(v.Short)
+		}
+		return r
+	default:
+		return l
+	}
+}
+
+// fuseSequential scans the layer list with a peephole window, emitting fused
+// operators for recognized chains and recursing into containers elsewhere.
+func fuseSequential(s *Sequential) *Sequential {
+	out := &Sequential{Layers: make([]Layer, 0, len(s.Layers))}
+	for i := 0; i < len(s.Layers); {
+		if f, used := fuseAt(s.Layers, i); f != nil {
+			out.Layers = append(out.Layers, f)
+			i += used
+			continue
+		}
+		out.Layers = append(out.Layers, Fuse(s.Layers[i]))
+		i++
+	}
+	return out
+}
+
+// fuseAt tries to start a fused chain at layers[i], returning the fused
+// operator and the number of layers it consumed (nil, 0 when no pattern
+// matches).
+func fuseAt(layers []Layer, i int) (Layer, int) {
+	rest := layers[i:]
+	switch v := rest[0].(type) {
+	case *Conv2D:
+		if len(rest) >= 2 {
+			if scales, shifts, ok := foldNorm(rest[1], v); ok {
+				if len(rest) >= 3 && isReLU(rest[2]) {
+					return &FusedConvAct{conv: v, scales: scales, shifts: shifts, relu: true, src: rest[:3]}, 3
+				}
+				return &FusedConvAct{conv: v, scales: scales, shifts: shifts, src: rest[:2]}, 2
+			}
+			if isReLU(rest[1]) {
+				return &FusedConvAct{conv: v, relu: true, src: rest[:2]}, 2
+			}
+		}
+	case *Dense:
+		if len(rest) >= 2 && isReLU(rest[1]) {
+			return &FusedDenseAct{dense: v, src: rest[:2]}, 2
+		}
+	case *GroupNorm, *BatchNorm, *SwitchableBatchNorm:
+		if len(rest) >= 2 && isReLU(rest[1]) {
+			return &FusedNormAct{norm: rest[0], src: rest[:2]}, 2
+		}
+	}
+	return nil, 0
+}
+
+func isReLU(l Layer) bool {
+	_, ok := l.(*ReLU)
+	return ok
+}
+
+// foldNorm folds an evaluation-mode normalization layer following conv into
+// per-width (scale, shift) channel vectors, absorbing the conv bias into the
+// shift: norm(conv + bias) = scale·conv + (shift + scale·bias). Folding
+// requires the norm to run per channel with frozen statistics (BatchNorm or
+// SwitchableBatchNorm) over exactly the conv's output slicing, so the active
+// widths of the two layers agree at every rate.
+func foldNorm(l Layer, conv *Conv2D) (scales, shifts [][]float64, ok bool) {
+	var bns []*BatchNorm
+	switch v := l.(type) {
+	case *BatchNorm:
+		bns = []*BatchNorm{v}
+	case *SwitchableBatchNorm:
+		bns = v.BNs
+	default:
+		return nil, nil, false
+	}
+	for _, bn := range bns {
+		if bn.C != conv.Out || bn.Spec != conv.OutSpec {
+			return nil, nil, false
+		}
+	}
+	for _, bn := range bns {
+		scale, shift := bn.FoldedAffine()
+		if conv.B != nil {
+			for c := range shift {
+				shift[c] += scale[c] * conv.B.Value.Data[c]
+			}
+		}
+		scales = append(scales, scale)
+		shifts = append(shifts, shift)
+	}
+	return scales, shifts, true
+}
+
+// widthIdx resolves the SwitchableBatchNorm width selection from the
+// context, mirroring SwitchableBatchNorm.Infer.
+func widthIdx(ctx *Context, n int) int {
+	idx := 0
+	if ctx != nil {
+		idx = ctx.WidthIdx
+	}
+	if n == 1 {
+		// A plain BatchNorm has one statistics set regardless of the
+		// scheduled width index.
+		return 0
+	}
+	if idx < 0 || idx >= n {
+		panic(fmt.Sprintf("nn: fused norm width index %d out of range [0,%d)", idx, n))
+	}
+	return idx
+}
+
+// chainForward/chainBackward/chainParams delegate the training-path Layer
+// contract of a fused operator to its source layers, so a fused view remains
+// usable (and correct) outside the inference path.
+func chainForward(src []Layer, ctx *Context, x *tensor.Tensor) *tensor.Tensor {
+	for _, l := range src {
+		x = l.Forward(ctx, x)
+	}
+	return x
+}
+
+func chainBackward(src []Layer, ctx *Context, dy *tensor.Tensor) *tensor.Tensor {
+	for i := len(src) - 1; i >= 0; i-- {
+		dy = src[i].Backward(ctx, dy)
+	}
+	return dy
+}
+
+func chainParams(src []Layer) []*Param {
+	var ps []*Param
+	for _, l := range src {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// FusedConvAct is a convolution with a folded normalization and/or ReLU in
+// its GEMM epilogue: the whole chain is one pass over the output instead of
+// one GEMM plus up to two further full sweeps.
+type FusedConvAct struct {
+	conv *Conv2D
+	// scales/shifts hold the folded per-channel affine per width index
+	// (length 1 for BatchNorm, one per width for SwitchableBatchNorm, nil
+	// when no normalization is folded). Conv bias is already absorbed.
+	scales, shifts [][]float64
+	relu           bool
+	src            []Layer
+}
+
+// Infer runs the fused chain through the whole-batch conv lowering.
+func (f *FusedConvAct) Infer(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
+	ep := tensor.Epilogue{ReLU: f.relu}
+	if f.scales != nil {
+		idx := widthIdx(ctx, len(f.scales))
+		ep.RowScale = f.scales[idx]
+		ep.RowShift = f.shifts[idx]
+	} else if f.conv.B != nil {
+		ep.RowShift = f.conv.B.Value.Data
+	}
+	return f.conv.inferFused(ctx, x, &ep)
+}
+
+// Forward runs the unfused source chain (training/eager semantics).
+func (f *FusedConvAct) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
+	return chainForward(f.src, ctx, x)
+}
+
+// Backward back-propagates through the unfused source chain.
+func (f *FusedConvAct) Backward(ctx *Context, dy *tensor.Tensor) *tensor.Tensor {
+	return chainBackward(f.src, ctx, dy)
+}
+
+// Params returns the parameters of the source chain.
+func (f *FusedConvAct) Params() []*Param { return chainParams(f.src) }
+
+// FusedDenseAct is a dense layer with its trailing ReLU fused into the GEMM
+// epilogue (alongside the bias and rescale the plain Infer already fuses).
+type FusedDenseAct struct {
+	dense *Dense
+	src   []Layer
+}
+
+// Infer runs the fused Dense→ReLU chain as one epilogue GEMM.
+func (f *FusedDenseAct) Infer(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
+	return f.dense.inferFused(ctx, x, true)
+}
+
+// Forward runs the unfused source chain (training/eager semantics).
+func (f *FusedDenseAct) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
+	return chainForward(f.src, ctx, x)
+}
+
+// Backward back-propagates through the unfused source chain.
+func (f *FusedDenseAct) Backward(ctx *Context, dy *tensor.Tensor) *tensor.Tensor {
+	return chainBackward(f.src, ctx, dy)
+}
+
+// Params returns the parameters of the source chain.
+func (f *FusedDenseAct) Params() []*Param { return chainParams(f.src) }
+
+// FusedNormAct is a normalization layer with its trailing ReLU fused into
+// the normalization's write pass — the fallback fusion when the
+// normalization cannot fold into a preceding GEMM (GroupNorm always;
+// BatchNorm when no convolution precedes it).
+type FusedNormAct struct {
+	norm Layer
+	src  []Layer
+}
+
+// Infer runs the fused norm→ReLU chain in one pass.
+func (f *FusedNormAct) Infer(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
+	switch n := f.norm.(type) {
+	case *GroupNorm:
+		return n.inferAct(ctx, x, true)
+	case *BatchNorm:
+		return n.inferAct(ctx, x, true)
+	case *SwitchableBatchNorm:
+		return n.BNs[widthIdx(ctx, len(n.BNs))].inferAct(ctx, x, true)
+	default:
+		panic(fmt.Sprintf("nn: FusedNormAct: unsupported norm %T", f.norm))
+	}
+}
+
+// Forward runs the unfused source chain (training/eager semantics).
+func (f *FusedNormAct) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
+	return chainForward(f.src, ctx, x)
+}
+
+// Backward back-propagates through the unfused source chain.
+func (f *FusedNormAct) Backward(ctx *Context, dy *tensor.Tensor) *tensor.Tensor {
+	return chainBackward(f.src, ctx, dy)
+}
+
+// Params returns the parameters of the source chain.
+func (f *FusedNormAct) Params() []*Param { return chainParams(f.src) }

@@ -131,6 +131,16 @@ func (g *GroupNorm) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
 // Infer normalizes the active channels group-wise per sample on the
 // read-only inference path (no x̂ cache, arena-backed output).
 func (g *GroupNorm) Infer(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
+	return g.inferAct(ctx, x, false)
+}
+
+// inferAct is Infer with an optionally fused trailing ReLU: the clamp rides
+// the normalization's write pass, which removes the separate ReLU layer's
+// full read+write sweep over the activation. GroupNorm statistics are
+// per-sample and data-dependent, so unlike BatchNorm the normalization
+// itself can never fold into the preceding convolution's GEMM epilogue —
+// this pass fusion is the best available.
+func (g *GroupNorm) inferAct(ctx *Context, x *tensor.Tensor, relu bool) *tensor.Tensor {
 	r := ctx.EffRate()
 	aC := g.Spec.Active(r, g.C)
 	batch, hw := normShape("GroupNorm", x, aC)
@@ -141,7 +151,7 @@ func (g *GroupNorm) Infer(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
 	ag := aC / gs
 	n := gs * hw
 
-	y := arenaOf(ctx).Get(x.Shape...)
+	y := arenaOf(ctx).GetUninit(x.Shape...)
 	plane := aC * hw
 	gamma, beta := g.Gamma.Value.Data, g.Beta.Value.Data
 	for b := 0; b < batch; b++ {
@@ -161,10 +171,22 @@ func (g *GroupNorm) Infer(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
 			}
 			va /= float64(n)
 			is := 1 / math.Sqrt(va+g.Eps)
-			for j, v := range seg {
-				ch := gi*gs + j/hw
-				h := (v - mu) * is
-				dst[gi*n+j] = gamma[ch]*h + beta[ch]
+			if relu {
+				for j, v := range seg {
+					ch := gi*gs + j/hw
+					o := gamma[ch]*((v-mu)*is) + beta[ch]
+					// !(o > 0): NaN clamps to 0, like the ReLU layer.
+					if !(o > 0) {
+						o = 0
+					}
+					dst[gi*n+j] = o
+				}
+			} else {
+				for j, v := range seg {
+					ch := gi*gs + j/hw
+					h := (v - mu) * is
+					dst[gi*n+j] = gamma[ch]*h + beta[ch]
+				}
 			}
 		}
 	}
@@ -376,23 +398,60 @@ func (b *BatchNorm) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
 // Infer normalizes with the running estimates on the read-only inference
 // path (evaluation semantics; no layer state is touched).
 func (b *BatchNorm) Infer(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
+	return b.inferAct(ctx, x, false)
+}
+
+// inferAct is Infer with an optionally fused trailing ReLU (one write pass
+// instead of a separate ReLU read+write sweep).
+func (b *BatchNorm) inferAct(ctx *Context, x *tensor.Tensor, relu bool) *tensor.Tensor {
 	r := ctx.EffRate()
 	aC := b.Spec.Active(r, b.C)
 	batch, hw := normShape("BatchNorm", x, aC)
 	plane := aC * hw
-	y := arenaOf(ctx).Get(x.Shape...)
+	y := arenaOf(ctx).GetUninit(x.Shape...)
 	gamma, beta := b.Gamma.Value.Data, b.Beta.Value.Data
 	for c := 0; c < aC; c++ {
 		is := 1 / math.Sqrt(b.RunVar.Data[c]+b.Eps)
 		mu := b.RunMean.Data[c]
 		for s := 0; s < batch; s++ {
 			off := s*plane + c*hw
-			for j := 0; j < hw; j++ {
-				y.Data[off+j] = gamma[c]*(x.Data[off+j]-mu)*is + beta[c]
+			if relu {
+				for j := 0; j < hw; j++ {
+					o := gamma[c]*(x.Data[off+j]-mu)*is + beta[c]
+					// !(o > 0): NaN clamps to 0, like the ReLU layer.
+					if !(o > 0) {
+						o = 0
+					}
+					y.Data[off+j] = o
+				}
+			} else {
+				for j := 0; j < hw; j++ {
+					y.Data[off+j] = gamma[c]*(x.Data[off+j]-mu)*is + beta[c]
+				}
 			}
 		}
 	}
 	return y
+}
+
+// FoldedAffine returns the per-channel affine form of the evaluation-mode
+// BatchNorm: y = scale[c]·x + shift[c] with scale[c] = γ[c]/√(σ²[c]+ε) and
+// shift[c] = β[c] − scale[c]·μ[c]. This is what the inference-time fusion
+// pass bakes into the preceding convolution's GEMM epilogue; it reads the
+// running statistics at call time, so it must be recomputed if the layer is
+// trained afterwards. Agreement with the unfused path is within rounding
+// (≤1e-12 relative), not bit-exact, because the factored arithmetic rounds
+// differently.
+func (b *BatchNorm) FoldedAffine() (scale, shift []float64) {
+	scale = make([]float64, b.C)
+	shift = make([]float64, b.C)
+	for c := 0; c < b.C; c++ {
+		is := 1 / math.Sqrt(b.RunVar.Data[c]+b.Eps)
+		s := b.Gamma.Value.Data[c] * is
+		scale[c] = s
+		shift[c] = b.Beta.Value.Data[c] - s*b.RunMean.Data[c]
+	}
+	return scale, shift
 }
 
 // Backward accumulates dGamma, dBeta and returns dx (training mode only).

@@ -73,7 +73,7 @@ func (m *MaxPool2D) Infer(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
 	b, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
 	outH := tensor.ConvOutSize(h, m.K, m.Stride, 0)
 	outW := tensor.ConvOutSize(w, m.K, m.Stride, 0)
-	y := arenaOf(ctx).Get(b, c, outH, outW)
+	y := arenaOf(ctx).GetUninit(b, c, outH, outW)
 	for s := 0; s < b; s++ {
 		for ch := 0; ch < c; ch++ {
 			plane := x.Data[(s*c+ch)*h*w : (s*c+ch+1)*h*w]
@@ -149,7 +149,7 @@ func (g *GlobalAvgPool) Infer(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
 		panic(fmt.Sprintf("nn: GlobalAvgPool input %v, want rank 4", x.Shape))
 	}
 	b, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
-	y := arenaOf(ctx).Get(b, c)
+	y := arenaOf(ctx).GetUninit(b, c)
 	hw := h * w
 	for s := 0; s < b; s++ {
 		for ch := 0; ch < c; ch++ {

@@ -52,7 +52,7 @@ func (r *Residual) Infer(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
 	if !y.SameShape(s) {
 		panic(fmt.Sprintf("nn: Residual branch shapes differ: body %v vs shortcut %v", y.Shape, s.Shape))
 	}
-	out := arenaOf(ctx).Get(y.Shape...)
+	out := arenaOf(ctx).GetUninit(y.Shape...)
 	for i, v := range y.Data {
 		out.Data[i] = v + s.Data[i]
 	}

@@ -3,6 +3,7 @@ package server
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 
 	"modelslicing/internal/tensor"
@@ -48,7 +49,19 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad JSON: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	x := tensor.FromSlice(req.Input, len(req.Input))
+	// The wire format is a flat row-major vector; rebuild the model's
+	// single-sample shape before submitting (Submit validates the full
+	// shape, not just the element count).
+	want := 1
+	for _, d := range s.cfg.InputShape {
+		want *= d
+	}
+	if len(req.Input) != want {
+		http.Error(w, fmt.Sprintf("input has %d elements, model wants %d (shape %v)",
+			len(req.Input), want, s.cfg.InputShape), http.StatusBadRequest)
+		return
+	}
+	x := tensor.FromSlice(req.Input, s.cfg.InputShape...)
 	ch, err := s.Submit(x)
 	switch {
 	case errors.Is(err, ErrOverloaded):

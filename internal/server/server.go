@@ -23,6 +23,7 @@ import (
 	"math"
 	"math/rand"
 	"runtime"
+	"slices"
 	"sync"
 	"time"
 
@@ -289,15 +290,14 @@ func (s *Server) admissionLimit() int {
 }
 
 // Submit enqueues one sample for the next window. The returned channel
-// receives exactly one Result. Submissions are rejected with ErrOverloaded
-// under backpressure and ErrStopped during shutdown.
+// receives exactly one Result. The input must match the configured
+// single-sample shape exactly — element count alone is not enough (a
+// [32, 3, 32] tensor is not a valid sample for a [3, 32, 32] model even
+// though the sizes agree). Submissions are rejected with ErrOverloaded under
+// backpressure and ErrStopped during shutdown.
 func (s *Server) Submit(x *tensor.Tensor) (<-chan Result, error) {
-	want := 1
-	for _, d := range s.cfg.InputShape {
-		want *= d
-	}
-	if x == nil || x.Size() != want {
-		return nil, fmt.Errorf("server: input has %d elements, model wants %d", sizeOf(x), want)
+	if x == nil || !slices.Equal(x.Shape, s.cfg.InputShape) {
+		return nil, fmt.Errorf("server: input shape %v, model wants %v", shapeOf(x), s.cfg.InputShape)
 	}
 	q := &query{x: x, enqueued: s.clock.Now(), done: make(chan Result, 1)}
 	s.mu.Lock()
@@ -315,11 +315,11 @@ func (s *Server) Submit(x *tensor.Tensor) (<-chan Result, error) {
 	return q.done, nil
 }
 
-func sizeOf(x *tensor.Tensor) int {
+func shapeOf(x *tensor.Tensor) []int {
 	if x == nil {
-		return 0
+		return nil
 	}
-	return x.Size()
+	return x.Shape
 }
 
 // Predict is the blocking convenience wrapper: Submit plus wait.
@@ -463,22 +463,24 @@ func (s *Server) runBatch(queries []*query, rate float64) {
 // run forwards one shard as a single batch at the given rate through the
 // shared zero-copy inference path — one batched GEMM per layer for the whole
 // shard — then scatters the output rows back to the queries. Batch and
-// activation buffers come from the worker's arena; only the per-query result
-// rows are heap-allocated, because they outlive the pass.
+// activation buffers come from the worker's arena; the results outlive the
+// pass, so they are heap-allocated — as one contiguous block per shard
+// (one data allocation instead of one per query), with each query's result a
+// per-row view of the block.
 func (wk *worker) run(shard []*query, rate float64, inputShape []int) {
 	n := len(shard)
 	shape := [8]int{n}
-	x := wk.arena.Get(append(shape[:1], inputShape...)...)
+	x := wk.arena.GetUninit(append(shape[:1], inputShape...)...)
 	d := len(shard[0].x.Data)
 	for i, q := range shard {
 		copy(x.Data[i*d:(i+1)*d], q.x.Data)
 	}
 	y := wk.shared.Infer(rate, x, wk.arena)
 	classes := y.Size() / n
+	block := make([]float64, n*classes)
+	copy(block, y.Data[:n*classes])
 	for i, q := range shard {
-		row := tensor.New(classes)
-		copy(row.Data, y.Data[i*classes:(i+1)*classes])
-		q.result = row
+		q.result = tensor.FromSlice(block[i*classes:(i+1)*classes], classes)
 	}
 	wk.arena.Reset()
 }

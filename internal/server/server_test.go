@@ -277,6 +277,43 @@ func TestSubmitValidatesInputShape(t *testing.T) {
 	if _, err := s.Submit(nil); err == nil {
 		t.Fatal("want error for nil input")
 	}
+	// Element count alone is not enough: the model wants [4], so a [2, 2]
+	// or [4, 1] tensor of the same size must be rejected too.
+	if _, err := s.Submit(tensor.New(2, 2)); err == nil {
+		t.Fatal("want error for same-size wrong-rank input")
+	}
+	if _, err := s.Submit(tensor.New(4, 1)); err == nil {
+		t.Fatal("want error for same-size wrong-shape input")
+	}
+	if _, err := s.Submit(tensor.New(4)); err != nil {
+		t.Fatalf("exact-shape input rejected: %v", err)
+	}
+}
+
+// TestSubmitValidatesImageShape pins the motivating case: a [32, 3, 32]
+// tensor has exactly as many elements as a [3, 32, 32] model input and used
+// to slip through the size-only check.
+func TestSubmitValidatesImageShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	m, _ := models.NewVGG(models.VGG13Mini(4, models.NormGroup, 1), rng)
+	s, err := New(Config{
+		Model:      m,
+		Rates:      slicing.NewRateList(0.25, 4),
+		InputShape: []int{3, 16, 16},
+		SLO:        50 * time.Millisecond,
+		SampleTime: func(r float64) float64 { return 1e-6 },
+		Clock:      NewFakeClock(time.Unix(0, 0)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	if _, err := s.Submit(tensor.New(16, 3, 16)); err == nil {
+		t.Fatal("transposed image shape accepted")
+	}
+	if _, err := s.Submit(tensor.New(3, 16, 16)); err != nil {
+		t.Fatalf("exact image shape rejected: %v", err)
+	}
 }
 
 func TestNewRejectsMalformedRateList(t *testing.T) {

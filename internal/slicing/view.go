@@ -23,15 +23,23 @@ import (
 // is the right tool for serving many rates live from one process.
 type Shared struct {
 	model nn.Layer
+	// fused is the inference-optimized peephole-fused view of model
+	// (nn.Fuse): Conv→BN(→ReLU) chains collapse into epilogue GEMMs with
+	// the SwitchableBatchNorm running statistics folded per width into
+	// O(widths·channels) scale/shift vectors, Dense→ReLU and Norm→ReLU
+	// chains into single passes. It shares the parent's weight buffers, so
+	// slicing still reads prefix views in place.
+	fused nn.Layer
 	rates RateList
 }
 
 // NewShared wraps a trained parent model and its rate list for zero-copy
 // multi-rate inference. The model must not be trained (or otherwise mutated)
-// while the Shared is in use.
+// while the Shared is in use — in particular, the fused serving view bakes
+// BatchNorm running statistics at construction time.
 func NewShared(model nn.Layer, rates RateList) *Shared {
 	rates.Validate()
-	return &Shared{model: model, rates: rates}
+	return &Shared{model: model, fused: nn.Fuse(model), rates: rates}
 }
 
 // Rates returns the deployable slice-rate list.
@@ -45,18 +53,31 @@ func (s *Shared) Model() nn.Layer { return s.model }
 // would otherwise cost one heap allocation per pass).
 var ctxPool = sync.Pool{New: func() any { return &nn.Context{} }}
 
-// Infer runs one inference pass at slice rate r, drawing activations from
-// arena (which may be nil for heap allocation). The returned tensor's
-// storage is owned by the arena and is valid until the caller resets it.
-// Concurrent callers must use distinct arenas.
+// Infer runs one inference pass at slice rate r through the fused serving
+// view, drawing activations from arena (which may be nil for heap
+// allocation). The returned tensor's storage is owned by the arena and is
+// valid until the caller resets it. Concurrent callers must use distinct
+// arenas.
 func (s *Shared) Infer(r float64, x *tensor.Tensor, arena *tensor.Arena) *tensor.Tensor {
+	return s.infer(s.fused, r, x, arena)
+}
+
+// InferUnfused runs the same pass through the original, unfused layer graph.
+// It is the equivalence oracle for the fused path: outputs agree with Infer
+// to ≤1e-12 at every rate (bit-identical except where BatchNorm folding
+// refactors the arithmetic).
+func (s *Shared) InferUnfused(r float64, x *tensor.Tensor, arena *tensor.Arena) *tensor.Tensor {
+	return s.infer(s.model, r, x, arena)
+}
+
+func (s *Shared) infer(model nn.Layer, r float64, x *tensor.Tensor, arena *tensor.Arena) *tensor.Tensor {
 	idx := 0
 	if i, err := s.rates.Index(r); err == nil {
 		idx = i
 	}
 	ctx := ctxPool.Get().(*nn.Context)
 	*ctx = nn.Context{Rate: r, WidthIdx: idx, Arena: arena}
-	y := nn.Infer(s.model, ctx, x)
+	y := nn.Infer(model, ctx, x)
 	ctxPool.Put(ctx)
 	return y
 }

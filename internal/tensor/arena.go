@@ -37,6 +37,20 @@ func NewArena() *Arena { return &Arena{} }
 // Get returns a zero-filled tensor of the given shape whose storage is owned
 // by the arena (valid until Reset). A nil arena allocates from the heap.
 func (a *Arena) Get(shape ...int) *Tensor {
+	return a.get(true, shape)
+}
+
+// GetUninit is Get without the zero fill: the returned tensor's contents are
+// whatever the slab last held. It exists for buffers every element of which
+// is about to be overwritten — an assign-mode GEMM destination (GemmEx), an
+// im2col scratch, a normalization output — where the clear is a wasted full
+// memory pass. Callers that leave any element unwritten read garbage; when
+// in doubt, use Get.
+func (a *Arena) GetUninit(shape ...int) *Tensor {
+	return a.get(false, shape)
+}
+
+func (a *Arena) get(zero bool, shape []int) *Tensor {
 	n := 1
 	for _, d := range shape {
 		if d <= 0 {
@@ -46,14 +60,17 @@ func (a *Arena) Get(shape ...int) *Tensor {
 	}
 	if a == nil {
 		// Mirrors New; inlined so the variadic shape never escapes and a
-		// slab-served Get stays allocation-free.
+		// slab-served Get stays allocation-free. make always zeroes, so
+		// GetUninit degrades to Get off-arena.
 		return &Tensor{Shape: append([]int(nil), shape...), Data: make([]float64, n)}
 	}
 	var data []float64
 	if a.off+n <= len(a.slab) {
 		data = a.slab[a.off : a.off+n : a.off+n]
 		a.off += n
-		clear(data)
+		if zero {
+			clear(data)
+		}
 	} else {
 		a.spilled += n
 		data = make([]float64, n)

@@ -88,3 +88,41 @@ func TestArenaWrapSharesData(t *testing.T) {
 		t.Fatal("Wrap does not alias the underlying data")
 	}
 }
+
+func TestArenaGetUninitReusesSlabWithoutClearing(t *testing.T) {
+	a := NewArena()
+	a.Get(16) // first cycle spills to the heap and grows the slab on Reset
+	a.Reset()
+	x := a.Get(16) // second cycle writes through the slab
+	for i := range x.Data {
+		x.Data[i] = float64(i + 1)
+	}
+	a.Reset()
+	y := a.GetUninit(16)
+	if &y.Data[0] != &x.Data[0] {
+		t.Fatal("GetUninit did not reuse the slab")
+	}
+	dirty := false
+	for _, v := range y.Data {
+		if v != 0 {
+			dirty = true
+		}
+	}
+	if !dirty {
+		t.Fatal("GetUninit cleared the slab; expected the previous cycle's contents")
+	}
+	// Nil arenas and shape handling mirror Get.
+	var nilArena *Arena
+	z := nilArena.GetUninit(2, 3)
+	if z.Size() != 6 || z.Dim(0) != 2 {
+		t.Fatalf("nil-arena GetUninit shape %v", z.Shape)
+	}
+	a.Reset()
+	if w := a.Get(16); true {
+		for i, v := range w.Data {
+			if v != 0 {
+				t.Fatalf("Get after GetUninit not zeroed at %d: %g", i, v)
+			}
+		}
+	}
+}

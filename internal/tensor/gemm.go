@@ -44,7 +44,65 @@ const (
 	parallelGemmFlops = 96 * 96 * 96
 	// minRowsPerWorker keeps fan-out from shredding tiny row counts.
 	minRowsPerWorker = 8
+	// minColsPerWorker keeps the column fan-out (used when the row count is
+	// too small to split, e.g. a conv product with few output channels and a
+	// whole batch of im2col columns) from shredding tiny column counts.
+	minColsPerWorker = 64
 )
+
+// Epilogue describes a fused transform applied to every element of C while
+// its panel is still cache-hot, immediately after the final k-panel of an
+// assign-mode (β=0) GEMM. Each element goes through, in order:
+//
+//	v = Alpha · acc                      (Alpha 0 is treated as 1)
+//	v = RowScale[i] · v                  (when RowScale is non-nil)
+//	v = v + RowShift[i]                  (when RowShift is non-nil)
+//	v = v · ColScale[j]                  (when ColScale is non-nil)
+//	v = v + ColShift[j]                  (when ColShift is non-nil)
+//	v = max(v, 0)                        (when ReLU is set; NaN clamps to 0,
+//	                                      matching a standalone v > 0 ReLU)
+//
+// Row vectors index the C row (a convolution's output channel: folded
+// BatchNorm scale/shift, conv bias); column vectors index the C column (a
+// dense layer's output unit: bias); Alpha is a uniform multiplier (output
+// rescaling). Fusing these into the GEMM turns a Conv→BN→ReLU or
+// Dense→ReLU chain into a single pass over the output instead of one extra
+// full memory sweep per post-op.
+//
+// Epilogues exist only on the assign-mode entry points (GemmEx, GemmTBEx):
+// applying an affine or clamp step to an accumulating C would also transform
+// whatever the caller had accumulated so far.
+type Epilogue struct {
+	Alpha              float64
+	RowScale, RowShift []float64
+	ColScale, ColShift []float64
+	ReLU               bool
+}
+
+// empty reports whether the epilogue would leave C untouched.
+func (ep *Epilogue) empty() bool {
+	return ep == nil || (ep.Alpha == 0 || ep.Alpha == 1) && ep.RowScale == nil && ep.RowShift == nil &&
+		ep.ColScale == nil && ep.ColShift == nil && !ep.ReLU
+}
+
+// check validates the epilogue vector lengths against the product shape.
+func (ep *Epilogue) check(m, n int) {
+	if ep == nil {
+		return
+	}
+	if ep.RowScale != nil {
+		checkVec("Epilogue RowScale", m, len(ep.RowScale))
+	}
+	if ep.RowShift != nil {
+		checkVec("Epilogue RowShift", m, len(ep.RowShift))
+	}
+	if ep.ColScale != nil {
+		checkVec("Epilogue ColScale", n, len(ep.ColScale))
+	}
+	if ep.ColShift != nil {
+		checkVec("Epilogue ColShift", n, len(ep.ColShift))
+	}
+}
 
 // packPool recycles transpose-packing panels (kcBlock×ncBlock floats) so
 // steady-state GEMM calls allocate nothing.
@@ -60,7 +118,75 @@ func Gemm(m, n, k int, a []float64, lda int, b []float64, ldb int, c []float64, 
 	checkMat("Gemm A", m, k, lda, len(a))
 	checkMat("Gemm B", k, n, ldb, len(b))
 	checkMat("Gemm C", m, n, ldc, len(c))
-	gemmParallel(m, n, k, a, lda, false, b, ldb, false, c, ldc)
+	gemmParallel(m, n, k, a, lda, false, b, ldb, false, c, ldc, false, nil)
+}
+
+// GemmEx computes C[m×n] = epilogue(A[m×k] · B[k×n]) — assign mode (β=0): C
+// is fully overwritten, so callers may pass uninitialized storage
+// (Arena.GetUninit) and skip the zero-fill pass. The epilogue (which may be
+// nil) is applied to each C panel while it is still cache-hot. The
+// accumulation order per element is identical to Gemm into a zeroed C, so
+// results are bit-identical to the unfused sequence when the epilogue steps
+// match.
+func GemmEx(m, n, k int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int, ep *Epilogue) {
+	checkMat("GemmEx A", m, k, lda, len(a))
+	checkMat("GemmEx B", k, n, ldb, len(b))
+	checkMat("GemmEx C", m, n, ldc, len(c))
+	ep.check(m, n)
+	if ep.empty() {
+		ep = nil
+	}
+	if k == 0 {
+		// An empty sum still owes the caller a fully written C (assign-mode
+		// contract): zero the product region, then run the epilogue.
+		for i := 0; i < m; i++ {
+			clear(c[i*ldc : i*ldc+n])
+		}
+		if ep != nil {
+			applyEpilogue(m, n, c, ldc, ep, 0, 0)
+		}
+		return
+	}
+	gemmParallel(m, n, k, a, lda, false, b, ldb, false, c, ldc, true, ep)
+}
+
+// GemmTBEx computes C[m×n] = epilogue(A · Bᵀ) where B is stored as [n×k] —
+// the assign-mode, fused-epilogue variant of GemmTB (see GemmEx).
+func GemmTBEx(m, n, k int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int, ep *Epilogue) {
+	checkMat("GemmTBEx A", m, k, lda, len(a))
+	checkMat("GemmTBEx B", n, k, ldb, len(b))
+	checkMat("GemmTBEx C", m, n, ldc, len(c))
+	ep.check(m, n)
+	if ep.empty() {
+		ep = nil
+	}
+	if m*n*k < smallGemmFlops {
+		gemmTBSimpleAssign(m, n, k, a, lda, b, ldb, c, ldc)
+		if ep != nil {
+			applyEpilogue(m, n, c, ldc, ep, 0, 0)
+		}
+		return
+	}
+	gemmParallel(m, n, k, a, lda, false, b, ldb, true, c, ldc, true, ep)
+}
+
+// gemmFanout returns how many workers the row and column splits each admit
+// for a C[m×n] product under the current GOMAXPROCS — the single source of
+// the fan-out gate shared by gemmParallel and GemmWillParallelize.
+func gemmFanout(m, n int) (rowW, colW int) {
+	workers := runtime.GOMAXPROCS(0)
+	return min(workers, m/minRowsPerWorker), min(workers, n/minColsPerWorker)
+}
+
+// GemmWillParallelize reports whether a product of the given shape clears
+// the fan-out thresholds under the current GOMAXPROCS — i.e. whether the
+// engine would split it across goroutines (by rows or columns). Callers with
+// a choice of lowering (a convolution can run one wide whole-batch GEMM or a
+// cache-hotter per-sample sequence) use this to pick: the wide layout only
+// pays for its extra memory traffic when the fan-out actually engages.
+func GemmWillParallelize(m, n, k int) bool {
+	rowW, colW := gemmFanout(m, n)
+	return (rowW > 1 || colW > 1) && m*n*k >= parallelGemmFlops
 }
 
 // GemmTA computes C[m×n] += Aᵀ · B where A is stored as [k×m].
@@ -72,7 +198,7 @@ func GemmTA(m, n, k int, a []float64, lda int, b []float64, ldb int, c []float64
 		gemmTASimple(m, n, k, a, lda, b, ldb, c, ldc)
 		return
 	}
-	gemmParallel(m, n, k, a, lda, true, b, ldb, false, c, ldc)
+	gemmParallel(m, n, k, a, lda, true, b, ldb, false, c, ldc, false, nil)
 }
 
 // GemmTB computes C[m×n] += A · Bᵀ where B is stored as [n×k].
@@ -84,7 +210,7 @@ func GemmTB(m, n, k int, a []float64, lda int, b []float64, ldb int, c []float64
 		gemmTBSimple(m, n, k, a, lda, b, ldb, c, ldc)
 		return
 	}
-	gemmParallel(m, n, k, a, lda, false, b, ldb, true, c, ldc)
+	gemmParallel(m, n, k, a, lda, false, b, ldb, true, c, ldc, false, nil)
 }
 
 // --- simple strided paths for small transposed products ---
@@ -133,52 +259,122 @@ func gemmTBSimple(m, n, k int, a []float64, lda int, b []float64, ldb int, c []f
 	}
 }
 
+// gemmTBSimpleAssign is gemmTBSimple with β=0: identical accumulation order,
+// but the result overwrites C (0 + s ≡ s, so it is bit-compatible with the
+// accumulate kernel on a zeroed C).
+func gemmTBSimpleAssign(m, n, k int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
+	for i := 0; i < m; i++ {
+		ai := a[i*lda : i*lda+k]
+		ci := c[i*ldc : i*ldc+n]
+		for j := 0; j < n; j++ {
+			bj := b[j*ldb : j*ldb+k]
+			var s0, s1, s2, s3 float64
+			p := 0
+			for ; p+3 < k; p += 4 {
+				s0 += ai[p] * bj[p]
+				s1 += ai[p+1] * bj[p+1]
+				s2 += ai[p+2] * bj[p+2]
+				s3 += ai[p+3] * bj[p+3]
+			}
+			for ; p < k; p++ {
+				s0 += ai[p] * bj[p]
+			}
+			ci[j] = s0 + s1 + s2 + s3
+		}
+	}
+}
+
 // --- blocked engine ---
 
-// gemmParallel fans the row range out across goroutines when the problem is
+// gemmParallel fans the product out across goroutines when the problem is
 // large enough, then runs the serial blocked engine per chunk. Each worker
 // packs its own panels, so no synchronization beyond the final wait is
 // needed; transposed panels are re-packed per worker, an O(k·n) duplication
 // that is noise next to the O(m·n·k/P) compute per worker.
-func gemmParallel(m, n, k int, a []float64, lda int, aTrans bool, b []float64, ldb int, bTrans bool, c []float64, ldc int) {
-	workers := runtime.GOMAXPROCS(0)
-	if maxW := m / minRowsPerWorker; workers > maxW {
-		workers = maxW
-	}
-	if workers <= 1 || m*n*k < parallelGemmFlops {
-		gemmBlocked(m, n, k, a, lda, aTrans, b, ldb, bTrans, c, ldc)
+//
+// The split dimension is whichever of rows and columns admits more workers:
+// a dense product (large m) splits rows as before, while a whole-batch conv
+// lowering (m = output channels, often < 2·minRowsPerWorker, with n = batch ×
+// spatial columns) splits columns — disjoint C column ranges are just as
+// race-free as disjoint row ranges, and the epilogue offsets follow the
+// split.
+func gemmParallel(m, n, k int, a []float64, lda int, aTrans bool, b []float64, ldb int, bTrans bool, c []float64, ldc int, assign bool, ep *Epilogue) {
+	rowW, colW := gemmFanout(m, n)
+	if (rowW <= 1 && colW <= 1) || m*n*k < parallelGemmFlops {
+		gemmBlocked(m, n, k, a, lda, aTrans, b, ldb, bTrans, c, ldc, assign, ep, 0, 0)
 		return
 	}
-	chunk := (m + workers - 1) / workers
+	// The workers receive the epilogue by value: capturing the caller's
+	// pointer in a go-closure would force every caller's stack epilogue to
+	// the heap — even on the serial path — and break the zero-allocation
+	// steady state of the inference engine.
+	var epv Epilogue
+	hasEp := ep != nil
+	if hasEp {
+		epv = *ep
+	}
 	var wg sync.WaitGroup
-	for lo := 0; lo < m; lo += chunk {
-		hi := lo + chunk
-		if hi > m {
-			hi = m
+	if rowW >= colW {
+		chunk := (m + rowW - 1) / rowW
+		for lo := 0; lo < m; lo += chunk {
+			hi := min(lo+chunk, m)
+			wg.Add(1)
+			go func(lo, hi int, epv Epilogue) {
+				defer wg.Done()
+				var wep *Epilogue
+				if hasEp {
+					wep = &epv
+				}
+				rows := hi - lo
+				if aTrans {
+					// A is [k×m]; a row offset of the logical product is a
+					// column offset in storage.
+					gemmBlocked(rows, n, k, a[lo:], lda, true, b, ldb, bTrans, c[lo*ldc:], ldc, assign, wep, lo, 0)
+				} else {
+					gemmBlocked(rows, n, k, a[lo*lda:], lda, false, b, ldb, bTrans, c[lo*ldc:], ldc, assign, wep, lo, 0)
+				}
+			}(lo, hi, epv)
 		}
+		wg.Wait()
+		return
+	}
+	chunk := (n + colW - 1) / colW
+	for lo := 0; lo < n; lo += chunk {
+		hi := min(lo+chunk, n)
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(lo, hi int, epv Epilogue) {
 			defer wg.Done()
-			rows := hi - lo
-			if aTrans {
-				// A is [k×m]; a row offset of the logical product is a
-				// column offset in storage.
-				gemmBlocked(rows, n, k, a[lo:], lda, true, b, ldb, bTrans, c[lo*ldc:], ldc)
-			} else {
-				gemmBlocked(rows, n, k, a[lo*lda:], lda, false, b, ldb, bTrans, c[lo*ldc:], ldc)
+			var wep *Epilogue
+			if hasEp {
+				wep = &epv
 			}
-		}(lo, hi)
+			cols := hi - lo
+			if bTrans {
+				// B is [n×k]; a column offset of the logical product is a
+				// row offset in storage.
+				gemmBlocked(m, cols, k, a, lda, aTrans, b[lo*ldb:], ldb, true, c[lo:], ldc, assign, wep, 0, lo)
+			} else {
+				gemmBlocked(m, cols, k, a, lda, aTrans, b[lo:], ldb, false, c[lo:], ldc, assign, wep, 0, lo)
+			}
+		}(lo, hi, epv)
 	}
 	wg.Wait()
 }
 
-// gemmBlocked runs C += op(A)·op(B) one (kc × nc) B panel at a time: the
+// gemmBlocked runs C (+)= op(A)·op(B) one (kc × nc) B panel at a time: the
 // panel stays L2-resident while the C rows sweep across it, and C is
 // revisited only k/kc times. Straight operands stream directly from the
 // caller's buffers; transposed operands are packed into row-major scratch
 // panels first. The ic loop only subdivides the rows when a packed Aᵀ block
 // must fit the pool buffer (GemmTA); otherwise it runs once over all rows.
-func gemmBlocked(m, n, k int, a []float64, lda int, aTrans bool, b []float64, ldb int, bTrans bool, c []float64, ldc int) {
+//
+// With assign set, the first k-panel overwrites C (β=0) instead of
+// accumulating, so callers may hand in uninitialized storage. A non-nil
+// epilogue is applied to each C tile right after its final k-panel, while
+// the tile is still cache-hot; rowOff/colOff locate this call's C window
+// inside the epilogue's vectors when a parallel caller has split the
+// product.
+func gemmBlocked(m, n, k int, a []float64, lda int, aTrans bool, b []float64, ldb int, bTrans bool, c []float64, ldc int, assign bool, ep *Epilogue, rowOff, colOff int) {
 	var aPack, bPack []float64
 	if aTrans {
 		buf := packPool.Get().(*[]float64)
@@ -196,6 +392,8 @@ func gemmBlocked(m, n, k int, a []float64, lda int, aTrans bool, b []float64, ld
 	}
 	for pc := 0; pc < k; pc += kcBlock {
 		kcb := min(kcBlock, k-pc)
+		first := pc == 0
+		last := pc+kcb == k
 		for ic := 0; ic < m; ic += icStep {
 			mcb := min(icStep, m-ic)
 			var ablk []float64
@@ -218,36 +416,239 @@ func gemmBlocked(m, n, k int, a []float64, lda int, aTrans bool, b []float64, ld
 				} else {
 					bp = b[pc*ldb+jc:]
 				}
-				gemmPanel(mcb, ncb, kcb, ablk, ldab, bp, ldbp, c[ic*ldc+jc:], ldc)
+				if assign && first {
+					gemmPanelAssign(mcb, ncb, kcb, ablk, ldab, bp, ldbp, c[ic*ldc+jc:], ldc)
+				} else {
+					gemmPanel(mcb, ncb, kcb, ablk, ldab, bp, ldbp, c[ic*ldc+jc:], ldc)
+				}
+				if last && ep != nil {
+					applyEpilogue(mcb, ncb, c[ic*ldc+jc:], ldc, ep, rowOff+ic, colOff+jc)
+				}
 			}
 		}
 	}
 }
 
-// gemmPanel is the rank-4 axpy micro-kernel: C[rows×ncb] += A[rows×kcb] ·
-// B[kcb×ncb], walking each C row once per four B rows so every iteration of
-// the fused inner loop runs eight independent multiply-adds over five
-// contiguous streams.
+// gemmPanel is the 2×4 axpy micro-kernel: C[rows×ncb] += A[rows×kcb] ·
+// B[kcb×ncb], walking two C rows per pass over four B rows, so each loaded
+// B value feeds four independent multiply-adds (sixteen flops per four B
+// loads) and the B panel is streamed only ⌈rows/2⌉ times. Per-element
+// accumulation order is the same as a one-row sweep — k-quads ascending —
+// so results are bit-identical to the rank-4 kernel this replaces.
 func gemmPanel(rows, ncb, kcb int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
-	for i := 0; i < rows; i++ {
-		ai := a[i*lda : i*lda+kcb]
-		ci := c[i*ldc : i*ldc+ncb]
+	i := 0
+	for ; i+2 <= rows; i += 2 {
+		ai0 := a[i*lda : i*lda+kcb]
+		ai1 := a[(i+1)*lda : (i+1)*lda+kcb]
+		ci0 := c[i*ldc : i*ldc+ncb]
+		ci1 := c[(i+1)*ldc : (i+1)*ldc+ncb]
 		p := 0
 		for ; p+4 <= kcb; p += 4 {
-			a0, a1, a2, a3 := ai[p], ai[p+1], ai[p+2], ai[p+3]
+			a00, a01, a02, a03 := ai0[p], ai0[p+1], ai0[p+2], ai0[p+3]
+			a10, a11, a12, a13 := ai1[p], ai1[p+1], ai1[p+2], ai1[p+3]
 			b0 := b[p*ldb : p*ldb+ncb]
 			b1 := b[(p+1)*ldb : (p+1)*ldb+ncb]
 			b2 := b[(p+2)*ldb : (p+2)*ldb+ncb]
 			b3 := b[(p+3)*ldb : (p+3)*ldb+ncb]
 			for j, bv := range b0 {
-				ci[j] += a0*bv + a1*b1[j] + a2*b2[j] + a3*b3[j]
+				b1v, b2v, b3v := b1[j], b2[j], b3[j]
+				ci0[j] += a00*bv + a01*b1v + a02*b2v + a03*b3v
+				ci1[j] += a10*bv + a11*b1v + a12*b2v + a13*b3v
 			}
 		}
 		for ; p < kcb; p++ {
-			av := ai[p]
+			a0v, a1v := ai0[p], ai1[p]
 			bp := b[p*ldb : p*ldb+ncb]
 			for j, bv := range bp {
-				ci[j] += av * bv
+				ci0[j] += a0v * bv
+				ci1[j] += a1v * bv
+			}
+		}
+	}
+	if i < rows {
+		gemmPanelRow(ncb, kcb, a[i*lda:i*lda+kcb], b, ldb, c[i*ldc:i*ldc+ncb])
+	}
+}
+
+// gemmPanelRow is the single-row tail of gemmPanel (the original rank-4
+// sweep over one C row).
+func gemmPanelRow(ncb, kcb int, ai []float64, b []float64, ldb int, ci []float64) {
+	p := 0
+	for ; p+4 <= kcb; p += 4 {
+		a0, a1, a2, a3 := ai[p], ai[p+1], ai[p+2], ai[p+3]
+		b0 := b[p*ldb : p*ldb+ncb]
+		b1 := b[(p+1)*ldb : (p+1)*ldb+ncb]
+		b2 := b[(p+2)*ldb : (p+2)*ldb+ncb]
+		b3 := b[(p+3)*ldb : (p+3)*ldb+ncb]
+		for j, bv := range b0 {
+			ci[j] += a0*bv + a1*b1[j] + a2*b2[j] + a3*b3[j]
+		}
+	}
+	for ; p < kcb; p++ {
+		av := ai[p]
+		bp := b[p*ldb : p*ldb+ncb]
+		for j, bv := range bp {
+			ci[j] += av * bv
+		}
+	}
+}
+
+// gemmPanelAssign is gemmPanel with β=0: the first k-group of each C row
+// pair assigns instead of accumulating, and the remaining k-groups
+// accumulate exactly as gemmPanel does. Grouping and order match gemmPanel,
+// so the result is bit-compatible with running gemmPanel on a zeroed C.
+func gemmPanelAssign(rows, ncb, kcb int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
+	i := 0
+	for ; i+2 <= rows; i += 2 {
+		ai0 := a[i*lda : i*lda+kcb]
+		ai1 := a[(i+1)*lda : (i+1)*lda+kcb]
+		ci0 := c[i*ldc : i*ldc+ncb]
+		ci1 := c[(i+1)*ldc : (i+1)*ldc+ncb]
+		p := 0
+		if kcb >= 4 {
+			a00, a01, a02, a03 := ai0[0], ai0[1], ai0[2], ai0[3]
+			a10, a11, a12, a13 := ai1[0], ai1[1], ai1[2], ai1[3]
+			b0 := b[0:ncb]
+			b1 := b[ldb : ldb+ncb]
+			b2 := b[2*ldb : 2*ldb+ncb]
+			b3 := b[3*ldb : 3*ldb+ncb]
+			for j, bv := range b0 {
+				b1v, b2v, b3v := b1[j], b2[j], b3[j]
+				ci0[j] = a00*bv + a01*b1v + a02*b2v + a03*b3v
+				ci1[j] = a10*bv + a11*b1v + a12*b2v + a13*b3v
+			}
+			p = 4
+		} else {
+			a0v, a1v := ai0[0], ai1[0]
+			for j, bv := range b[0:ncb] {
+				ci0[j] = a0v * bv
+				ci1[j] = a1v * bv
+			}
+			p = 1
+		}
+		for ; p+4 <= kcb; p += 4 {
+			a00, a01, a02, a03 := ai0[p], ai0[p+1], ai0[p+2], ai0[p+3]
+			a10, a11, a12, a13 := ai1[p], ai1[p+1], ai1[p+2], ai1[p+3]
+			b0 := b[p*ldb : p*ldb+ncb]
+			b1 := b[(p+1)*ldb : (p+1)*ldb+ncb]
+			b2 := b[(p+2)*ldb : (p+2)*ldb+ncb]
+			b3 := b[(p+3)*ldb : (p+3)*ldb+ncb]
+			for j, bv := range b0 {
+				b1v, b2v, b3v := b1[j], b2[j], b3[j]
+				ci0[j] += a00*bv + a01*b1v + a02*b2v + a03*b3v
+				ci1[j] += a10*bv + a11*b1v + a12*b2v + a13*b3v
+			}
+		}
+		for ; p < kcb; p++ {
+			a0v, a1v := ai0[p], ai1[p]
+			bp := b[p*ldb : p*ldb+ncb]
+			for j, bv := range bp {
+				ci0[j] += a0v * bv
+				ci1[j] += a1v * bv
+			}
+		}
+	}
+	if i < rows {
+		gemmPanelAssignRow(ncb, kcb, a[i*lda:i*lda+kcb], b, ldb, c[i*ldc:i*ldc+ncb])
+	}
+}
+
+// gemmPanelAssignRow is the single-row tail of gemmPanelAssign.
+func gemmPanelAssignRow(ncb, kcb int, ai []float64, b []float64, ldb int, ci []float64) {
+	p := 0
+	if kcb >= 4 {
+		a0, a1, a2, a3 := ai[0], ai[1], ai[2], ai[3]
+		b0 := b[0:ncb]
+		b1 := b[ldb : ldb+ncb]
+		b2 := b[2*ldb : 2*ldb+ncb]
+		b3 := b[3*ldb : 3*ldb+ncb]
+		for j, bv := range b0 {
+			ci[j] = a0*bv + a1*b1[j] + a2*b2[j] + a3*b3[j]
+		}
+		p = 4
+	} else {
+		av := ai[0]
+		for j, bv := range b[0:ncb] {
+			ci[j] = av * bv
+		}
+		p = 1
+	}
+	for ; p+4 <= kcb; p += 4 {
+		a0, a1, a2, a3 := ai[p], ai[p+1], ai[p+2], ai[p+3]
+		b0 := b[p*ldb : p*ldb+ncb]
+		b1 := b[(p+1)*ldb : (p+1)*ldb+ncb]
+		b2 := b[(p+2)*ldb : (p+2)*ldb+ncb]
+		b3 := b[(p+3)*ldb : (p+3)*ldb+ncb]
+		for j, bv := range b0 {
+			ci[j] += a0*bv + a1*b1[j] + a2*b2[j] + a3*b3[j]
+		}
+	}
+	for ; p < kcb; p++ {
+		av := ai[p]
+		bp := b[p*ldb : p*ldb+ncb]
+		for j, bv := range bp {
+			ci[j] += av * bv
+		}
+	}
+}
+
+// applyEpilogue runs the fused post-GEMM transform over a rows×cols C tile
+// whose top-left element sits at (rowOff, colOff) of the full product. The
+// row affine is folded into one (scale, shift) pair per row; the common
+// row-only cases get dedicated inner loops so conv epilogues never test
+// per-element flags.
+func applyEpilogue(rows, cols int, c []float64, ldc int, ep *Epilogue, rowOff, colOff int) {
+	alpha := ep.Alpha
+	if alpha == 0 {
+		alpha = 1
+	}
+	var colScale, colShift []float64
+	if ep.ColScale != nil {
+		colScale = ep.ColScale[colOff : colOff+cols]
+	}
+	if ep.ColShift != nil {
+		colShift = ep.ColShift[colOff : colOff+cols]
+	}
+	for i := 0; i < rows; i++ {
+		scale, shift := alpha, 0.0
+		if ep.RowScale != nil {
+			scale *= ep.RowScale[rowOff+i]
+		}
+		if ep.RowShift != nil {
+			shift = ep.RowShift[rowOff+i]
+		}
+		ci := c[i*ldc : i*ldc+cols]
+		switch {
+		case colScale == nil && colShift == nil && ep.ReLU:
+			for j, v := range ci {
+				v = scale*v + shift
+				// !(v > 0) rather than v < 0 so NaN clamps to 0 exactly
+				// like the standalone ReLU layer's v > 0 test.
+				if !(v > 0) {
+					v = 0
+				}
+				ci[j] = v
+			}
+		case colScale == nil && colShift == nil:
+			if scale == 1 && shift == 0 {
+				continue
+			}
+			for j, v := range ci {
+				ci[j] = scale*v + shift
+			}
+		default:
+			for j, v := range ci {
+				v = scale*v + shift
+				if colScale != nil {
+					v *= colScale[j]
+				}
+				if colShift != nil {
+					v += colShift[j]
+				}
+				if ep.ReLU && !(v > 0) {
+					v = 0
+				}
+				ci[j] = v
 			}
 		}
 	}

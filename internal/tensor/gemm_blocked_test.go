@@ -157,6 +157,228 @@ func TestGemmRandomShapes(t *testing.T) {
 	}
 }
 
+// --- assign-mode epilogue kernels (GemmEx, GemmTBEx) ---
+
+// epilogueRef applies the Epilogue contract naively to a fully accumulated
+// product — the oracle for the fused in-panel application.
+func epilogueRef(m, n int, c []float64, ldc int, ep *Epilogue) {
+	if ep == nil {
+		return
+	}
+	alpha := ep.Alpha
+	if alpha == 0 {
+		alpha = 1
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			v := alpha * c[i*ldc+j]
+			if ep.RowScale != nil {
+				v *= ep.RowScale[i]
+			}
+			if ep.RowShift != nil {
+				v += ep.RowShift[i]
+			}
+			if ep.ColScale != nil {
+				v *= ep.ColScale[j]
+			}
+			if ep.ColShift != nil {
+				v += ep.ColShift[j]
+			}
+			if ep.ReLU && !(v > 0) {
+				v = 0
+			}
+			c[i*ldc+j] = v
+		}
+	}
+}
+
+// epilogueCases enumerates every epilogue feature combination (2^6 via the
+// bitmask) with random vectors.
+func epilogueCase(rng *rand.Rand, mask, m, n int) *Epilogue {
+	ep := &Epilogue{}
+	randVec := func(l int) []float64 {
+		v := make([]float64, l)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		return v
+	}
+	if mask&1 != 0 {
+		ep.Alpha = 0.25 + rng.Float64()
+	}
+	if mask&2 != 0 {
+		ep.RowScale = randVec(m)
+	}
+	if mask&4 != 0 {
+		ep.RowShift = randVec(m)
+	}
+	if mask&8 != 0 {
+		ep.ColScale = randVec(n)
+	}
+	if mask&16 != 0 {
+		ep.ColShift = randVec(n)
+	}
+	ep.ReLU = mask&32 != 0
+	return ep
+}
+
+// gemmExCase runs one assign-mode configuration through a fused kernel and
+// its unfused reference (accumulate into zeros, then apply the epilogue
+// naively), starting from a garbage-filled destination to prove assign mode
+// overwrites every element.
+func gemmExCase(t *testing.T, name string, m, n, k, lda, ldb, ldc int, ep *Epilogue,
+	kernel func(m, n, k int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int, ep *Epilogue),
+	ref func(m, n, k int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int),
+	aRows, aCols, bRows, bCols int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(int64(m*999979 + n*1013 + k*7)))
+	a := make([]float64, (aRows-1)*lda+aCols+5)
+	b := make([]float64, (bRows-1)*ldb+bCols+5)
+	cGot := make([]float64, (m-1)*ldc+n+5)
+	fillRand(rng, a)
+	fillRand(rng, b)
+	fillRand(rng, cGot) // garbage start: assign mode must overwrite all of it
+	cWant := make([]float64, len(cGot))
+	copy(cWant, cGot)
+	for i := range cWant {
+		row, col := i/ldc, i%ldc
+		if row < m && col < n {
+			cWant[i] = 0
+		}
+	}
+
+	kernel(m, n, k, a, lda, b, ldb, cGot, ldc, ep)
+	ref(m, n, k, a, lda, b, ldb, cWant, ldc)
+	epilogueRef(m, n, cWant, ldc, ep)
+
+	tol := 1e-10 * math.Sqrt(float64(k))
+	for i := range cGot {
+		row, col := i/ldc, i%ldc
+		inRegion := row < m && col < n
+		d := math.Abs(cGot[i] - cWant[i])
+		if inRegion && d > tol {
+			t.Fatalf("%s m=%d n=%d k=%d: C[%d,%d] = %g, want %g (|Δ|=%g)",
+				name, m, n, k, row, col, cGot[i], cWant[i], d)
+		}
+		if !inRegion && cGot[i] != cWant[i] {
+			t.Fatalf("%s m=%d n=%d k=%d: slack element %d modified (%g → %g)",
+				name, m, n, k, i, cWant[i], cGot[i])
+		}
+	}
+}
+
+// TestGemmExEpilogueCombinations sweeps every epilogue feature combination
+// over shapes on both sides of the blocked and parallel thresholds.
+func TestGemmExEpilogueCombinations(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	type shape struct{ m, n, k, pad int }
+	shapes := []shape{
+		{1, 1, 1, 0},
+		{3, 17, 5, 2},
+		{16, 64, 9, 0},
+		{8, 300, 72, 3},    // conv-like: few rows, wide batch columns
+		{65, 67, 63, 1},    // blocked, ragged panels
+		{40, 130, 270, 2},  // k > kc: epilogue must fire on the last k-panel only
+		{130, 130, 130, 0}, // above the parallel threshold
+	}
+	for _, s := range shapes {
+		for mask := 0; mask < 64; mask++ {
+			ep := epilogueCase(rng, mask, s.m, s.n)
+			lda, ldb, ldc := s.k+s.pad, s.n+s.pad, s.n+s.pad
+			gemmExCase(t, "GemmEx", s.m, s.n, s.k, lda, ldb, ldc, ep, GemmEx, gemmRef, s.m, s.k, s.k, s.n)
+			// GemmTBEx: B stored [n×k], so ldb ≥ k.
+			gemmExCase(t, "GemmTBEx", s.m, s.n, s.k, lda, s.k+s.pad, ldc, ep, GemmTBEx, gemmTBRef, s.m, s.k, s.n, s.k)
+		}
+	}
+}
+
+// TestGemmExRandomShapes is the property test for the assign-mode kernels:
+// random shapes, random strides, random epilogues.
+func TestGemmExRandomShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	iters := 60
+	if testing.Short() {
+		iters = 20
+	}
+	for it := 0; it < iters; it++ {
+		m := 1 + rng.Intn(90)
+		n := 1 + rng.Intn(90)
+		k := 1 + rng.Intn(90)
+		if it%5 == 0 {
+			switch it % 3 {
+			case 0:
+				m += 200
+			case 1:
+				n += 200
+			default:
+				k += 300
+			}
+		}
+		ep := epilogueCase(rng, rng.Intn(64), m, n)
+		padA, padB, padC := rng.Intn(8), rng.Intn(8), rng.Intn(8)
+		gemmExCase(t, "GemmEx", m, n, k, k+padA, n+padB, n+padC, ep, GemmEx, gemmRef, m, k, k, n)
+		gemmExCase(t, "GemmTBEx", m, n, k, k+padA, k+padB, n+padC, ep, GemmTBEx, gemmTBRef, m, k, n, k)
+	}
+}
+
+// TestGemmExBitIdenticalToGemm pins the assign-mode contract the inference
+// path relies on: with no epilogue, GemmEx over garbage equals Gemm over
+// zeros bit for bit (same kernels, same accumulation order).
+func TestGemmExBitIdenticalToGemm(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, s := range [][3]int{{5, 9, 3}, {16, 256, 72}, {64, 64, 300}, {130, 130, 130}} {
+		m, n, k := s[0], s[1], s[2]
+		a := make([]float64, m*k)
+		b := make([]float64, k*n)
+		fillRand(rng, a)
+		fillRand(rng, b)
+		want := make([]float64, m*n)
+		Gemm(m, n, k, a, k, b, n, want, n)
+		got := make([]float64, m*n)
+		fillRand(rng, got)
+		GemmEx(m, n, k, a, k, b, n, got, n, nil)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("m=%d n=%d k=%d: GemmEx[%d]=%g, Gemm=%g", m, n, k, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestGemmExEmptyK pins the assign-mode contract at k = 0: an empty sum
+// must still fully overwrite C (zeros) and run the epilogue, matching what
+// GemmTBEx's simple path already does.
+func TestGemmExEmptyK(t *testing.T) {
+	c := []float64{7, 7, 7, 7, 7, 7}
+	GemmEx(2, 2, 0, nil, 0, nil, 2, c, 3, &Epilogue{RowShift: []float64{1, 2}})
+	want := []float64{1, 1, 7, 2, 2, 7} // ldc=3: slack column untouched
+	for i := range want {
+		if c[i] != want[i] {
+			t.Fatalf("c[%d] = %g, want %g (full: %v)", i, c[i], want[i], c)
+		}
+	}
+	c2 := []float64{7, 7, 7, 7}
+	GemmTBEx(2, 2, 0, nil, 0, nil, 0, c2, 2, nil)
+	for i, v := range c2 {
+		if v != 0 {
+			t.Fatalf("GemmTBEx k=0: c[%d] = %g, want 0", i, v)
+		}
+	}
+}
+
+// TestEpilogueVectorChecks verifies the epilogue length validation.
+func TestEpilogueVectorChecks(t *testing.T) {
+	a := make([]float64, 12)
+	b := make([]float64, 12)
+	c := make([]float64, 9)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("GemmEx accepted a short RowScale")
+		}
+	}()
+	GemmEx(3, 3, 4, a, 4, b, 3, c, 3, &Epilogue{RowScale: make([]float64, 2)})
+}
+
 // TestMatVecChecks verifies the unified shape-error reporting of the
 // matrix–vector kernels.
 func TestMatVecChecks(t *testing.T) {

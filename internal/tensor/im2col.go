@@ -10,36 +10,79 @@ package tensor
 func Im2Col(src []float64, channels, h, w, kh, kw, stride, pad int, col []float64) (outH, outW int) {
 	outH = (h+2*pad-kh)/stride + 1
 	outW = (w+2*pad-kw)/stride + 1
-	spatial := outH * outW
+	Im2ColInto(src, channels, h, w, kh, kw, stride, pad, col, outH*outW, 0)
+	return outH, outW
+}
+
+// Im2ColInto unrolls one image into columns [colOff, colOff+outH·outW) of a
+// wider column matrix whose row stride is ldcol. Packing a whole batch side
+// by side (one sample per column band, ldcol = batch·outH·outW) turns the
+// per-sample convolution GEMMs into a single wide product over
+// [channels·kh·kw × batch·outH·outW] — wide enough for the blocked engine's
+// panel reuse and goroutine fan-out to engage on shapes whose per-sample
+// spatial extent is too small. Every element of the band is written
+// (padding taps included), so the destination may be uninitialized.
+func Im2ColInto(src []float64, channels, h, w, kh, kw, stride, pad int, col []float64, ldcol, colOff int) {
+	outH := (h+2*pad-kh)/stride + 1
+	outW := (w+2*pad-kw)/stride + 1
+	// For a fixed kernel tap kj, the in-range output columns are those with
+	// 0 ≤ ox·stride − pad + kj < w; hoisting that interval out of the inner
+	// loop replaces the per-element bounds test with two zero fills and one
+	// contiguous copy (stride 1) or a branch-free gather (stride > 1).
 	idx := 0
 	for c := 0; c < channels; c++ {
 		plane := src[c*h*w : (c+1)*h*w]
 		for ki := 0; ki < kh; ki++ {
 			for kj := 0; kj < kw; kj++ {
+				// ox ∈ [lo, hi) reads inside the row; outside is padding.
+				// Both bounds clamp to outW: a kernel tap whose reach
+				// exceeds the padded row (kw > w+pad) is padding at every
+				// output column.
+				lo := 0
+				if pad > kj {
+					lo = min((pad-kj+stride-1)/stride, outW)
+				}
+				hi := 0
+				if last := w - 1 + pad - kj; last >= 0 {
+					hi = min(last/stride, outW-1) + 1
+				}
+				if hi < lo {
+					hi = lo
+				}
 				for oy := 0; oy < outH; oy++ {
 					iy := oy*stride - pad + ki
-					rowBase := idx*spatial + oy*outW
+					rowBase := idx*ldcol + colOff + oy*outW
+					dst := col[rowBase : rowBase+outW]
 					if iy < 0 || iy >= h {
-						for ox := 0; ox < outW; ox++ {
-							col[rowBase+ox] = 0
+						for j := range dst {
+							dst[j] = 0
 						}
 						continue
 					}
 					srcRow := plane[iy*w : (iy+1)*w]
-					for ox := 0; ox < outW; ox++ {
-						ix := ox*stride - pad + kj
-						if ix < 0 || ix >= w {
-							col[rowBase+ox] = 0
-						} else {
-							col[rowBase+ox] = srcRow[ix]
+					for ox := 0; ox < lo; ox++ {
+						dst[ox] = 0
+					}
+					if hi <= lo {
+						// No in-range columns for this tap (kernel reach
+						// beyond the padded row): nothing to copy, and
+						// lo-pad+kj may be negative.
+					} else if stride == 1 {
+						ix0 := lo - pad + kj
+						copy(dst[lo:hi], srcRow[ix0:ix0+hi-lo])
+					} else {
+						for ox := lo; ox < hi; ox++ {
+							dst[ox] = srcRow[ox*stride-pad+kj]
 						}
+					}
+					for ox := hi; ox < outW; ox++ {
+						dst[ox] = 0
 					}
 				}
 				idx++
 			}
 		}
 	}
-	return outH, outW
 }
 
 // Col2Im is the adjoint of Im2Col: it scatter-adds the column matrix back

@@ -170,3 +170,48 @@ func TestInitializers(t *testing.T) {
 		t.Fatal("InitHe produced non-finite values")
 	}
 }
+
+// TestIm2ColIntoMatchesPerSample pins the whole-batch packing: unrolling B
+// samples side by side into one wide column matrix (row stride
+// batch·spatial) must produce, in every sample's column band, exactly what
+// the per-sample Im2Col produces — including explicit zeros for padding taps
+// over an uninitialized (garbage) destination.
+func TestIm2ColIntoMatchesPerSample(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	cases := []struct{ batch, c, h, w, kh, kw, stride, pad int }{
+		{3, 2, 6, 6, 3, 3, 1, 1},
+		{2, 3, 5, 7, 3, 3, 2, 1},
+		{4, 1, 4, 4, 2, 2, 2, 0},
+		{2, 2, 8, 8, 1, 1, 1, 0},
+		{1, 4, 6, 6, 5, 5, 1, 2},
+		{2, 2, 3, 3, 3, 3, 1, 3}, // pad > kernel reach: all-padding edge rows
+		{2, 1, 1, 1, 6, 6, 1, 3}, // kernel reach exceeds w+pad: lo must clamp to outW
+		{1, 1, 2, 2, 5, 5, 2, 2}, // strided with taps past the padded row
+	}
+	for _, tc := range cases {
+		outH := ConvOutSize(tc.h, tc.kh, tc.stride, tc.pad)
+		outW := ConvOutSize(tc.w, tc.kw, tc.stride, tc.pad)
+		spatial := outH * outW
+		colRows := tc.c * tc.kh * tc.kw
+		ldcol := tc.batch * spatial
+		wide := randSlice(colRows*ldcol, rng) // garbage start
+		srcs := make([][]float64, tc.batch)
+		for b := range srcs {
+			srcs[b] = randSlice(tc.c*tc.h*tc.w, rng)
+			Im2ColInto(srcs[b], tc.c, tc.h, tc.w, tc.kh, tc.kw, tc.stride, tc.pad, wide, ldcol, b*spatial)
+		}
+		single := make([]float64, colRows*spatial)
+		for b := range srcs {
+			Im2Col(srcs[b], tc.c, tc.h, tc.w, tc.kh, tc.kw, tc.stride, tc.pad, single)
+			for r := 0; r < colRows; r++ {
+				for s := 0; s < spatial; s++ {
+					got := wide[r*ldcol+b*spatial+s]
+					want := single[r*spatial+s]
+					if got != want {
+						t.Fatalf("%+v sample %d col[%d,%d] = %g, want %g", tc, b, r, s, got, want)
+					}
+				}
+			}
+		}
+	}
+}
