@@ -11,6 +11,7 @@
 //	msbench -json -out p.json           # write to an explicit path
 //	msbench -compare old.json           # regression gate: rerun and diff
 //	msbench -compare old.json -slowdown 1.5
+//	msbench -json -packed=false         # A/B: pin the unpacked GEMM engine
 //
 // -compare runs a fresh perf suite, diffs it against a prior BENCH_*.json
 // (per-size GEMM ns/op, per-rate shared-path ns/sample) and exits non-zero
@@ -47,6 +48,7 @@ func main() {
 	outPath := flag.String("out", "", "output path for -json (default BENCH_<unix>.json)")
 	comparePath := flag.String("compare", "", "prior BENCH_*.json to diff a fresh run against; exit 1 past -slowdown")
 	slowdown := flag.Float64("slowdown", 1.25, "max tolerated slowdown factor for -compare (new/old ns)")
+	packed := flag.Bool("packed", true, "serve through the persistent packed-weight panels; -packed=false pins the unpacked engine")
 	flag.Parse()
 
 	if *list {
@@ -56,7 +58,7 @@ func main() {
 		return
 	}
 	if *comparePath != "" {
-		rep := collectBench()
+		rep := collectBench(*packed)
 		if *jsonOut || *outPath != "" {
 			if err := writeBenchJSON(rep, *outPath); err != nil {
 				fmt.Fprintln(os.Stderr, err)
@@ -74,7 +76,7 @@ func main() {
 		return
 	}
 	if *jsonOut {
-		if err := writeBenchJSON(collectBench(), *outPath); err != nil {
+		if err := writeBenchJSON(collectBench(*packed), *outPath); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -133,11 +135,15 @@ type inferencePoint struct {
 	NsPerSampleExtract float64 `json:"ns_per_sample_extract"`
 	AllocsOpShared     int64   `json:"allocs_per_op_shared"`
 	SampleTimeSeconds  float64 `json:"sample_time_seconds"` // serving calibration of t(r)
+	// PackCacheBytes is the shared model's resident weight-pack memory once
+	// this rate (and all rates before it in the list) has been served — the
+	// O(packs) cost of the elastic widths. Zero under -packed=false.
+	PackCacheBytes int64 `json:"pack_cache_bytes"`
 }
 
 // collectBench runs the perf suite with the testing harness and returns the
-// snapshot.
-func collectBench() benchReport {
+// snapshot. With packed false, every Shared pins the unpacked engine.
+func collectBench(packed bool) benchReport {
 	rep := benchReport{
 		Timestamp:  time.Now().UTC().Format(time.RFC3339),
 		GoOS:       runtime.GOOS,
@@ -177,7 +183,7 @@ func collectBench() benchReport {
 	model, _ := models.NewVGG(models.VGG13Mini(4, models.NormGroup, 1), rng)
 	rates := slicing.NewRateList(0.25, 4)
 	shared := slicing.NewShared(model, rates)
-	sampleTime := serving.MeasureSampleTimes(model, rates, []int{3, 16, 16}, batch)
+	shared.SetPacked(packed)
 	x := tensor.New(batch, 3, 16, 16)
 	for i := range x.Data {
 		x.Data[i] = rng.NormFloat64()
@@ -195,6 +201,7 @@ func collectBench() benchReport {
 		})
 		sub := slicing.Extract(model, rate, rates)
 		subShared := slicing.NewShared(sub, slicing.NewRateList(1, 1))
+		subShared.SetPacked(packed)
 		subShared.Infer(1, x, arena)
 		arena.Reset()
 		re := testing.Benchmark(func(b *testing.B) {
@@ -208,8 +215,15 @@ func collectBench() benchReport {
 			NsPerSampleShared:  float64(rs.NsPerOp()) / batch,
 			NsPerSampleExtract: float64(re.NsPerOp()) / batch,
 			AllocsOpShared:     rs.AllocsPerOp(),
-			SampleTimeSeconds:  sampleTime(rate),
+			PackCacheBytes:     shared.PackCacheBytes(),
 		})
+	}
+	// Calibrate t(r) only after the per-rate loop: MeasureSharedSampleTimes
+	// serves every rate, which would pre-build every width's pack and turn
+	// the per-rate PackCacheBytes column into a flat all-rates total.
+	sampleTime := serving.MeasureSharedSampleTimes(shared, []int{3, 16, 16}, batch)
+	for i := range rep.Inference {
+		rep.Inference[i].SampleTimeSeconds = sampleTime(rep.Inference[i].Rate)
 	}
 	return rep
 }

@@ -3,6 +3,7 @@ package nn
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"modelslicing/internal/tensor"
 )
@@ -22,6 +23,13 @@ type Conv2D struct {
 
 	W *Param // [Out, In*KH*KW]
 	B *Param // [Out], nil when built without bias
+
+	// packs caches the per-width micro-panel packs of W as the GEMM's A
+	// operand: each active (aOut, aIn·KH·KW) prefix is packed once
+	// (tensor.PackA) and then served read-only to every worker — both the
+	// per-sample and the whole-batch lowering stream the same pack. Training
+	// invalidates it (see Forward).
+	packs packCache
 
 	// cached forward state
 	x          *tensor.Tensor
@@ -66,8 +74,29 @@ func (c *Conv2D) OutShape(h, w int) (int, int) {
 	return tensor.ConvOutSize(h, c.KH, c.Stride, c.Pad), tensor.ConvOutSize(w, c.KW, c.Stride, c.Pad)
 }
 
+// im2colPool recycles the worker-local im2col (and column-gradient) scratch
+// of the training path across steps, the way the GEMM engine recycles its
+// transpose panels: Forward/Backward used to allocate one fresh
+// colRows×spatial buffer per worker per step. Buffers are size-promoted on
+// demand and fully (re)written before every read — Im2Col writes padding taps
+// too, and Backward zeroes its dcol explicitly — so recycled contents never
+// leak between steps.
+var im2colPool = sync.Pool{New: func() any { return new([]float64) }}
+
+// im2colGet hands out a pooled buffer of at least n elements.
+func im2colGet(n int) *[]float64 {
+	buf := im2colPool.Get().(*[]float64)
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	return buf
+}
+
 // Forward computes y[B, aOut, outH, outW] from x[B, aIn, H, W].
 func (c *Conv2D) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
+	// Forward precedes weight updates; cached inference packs would go
+	// stale, so drop them.
+	c.packs.invalidate()
 	r := ctx.EffRate()
 	c.aIn, c.aOut = c.Active(r)
 	if x.Rank() != 4 || x.Dim(1) != c.aIn {
@@ -86,9 +115,11 @@ func (c *Conv2D) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
 	ldW := c.In * c.KH * c.KW
 
 	nw := maxWorkers(batch)
-	cols := make([][]float64, nw)
-	for i := range cols {
-		cols[i] = make([]float64, colRows*spatial)
+	var cols [maxBatchWorkers][]float64
+	var bufs [maxBatchWorkers]*[]float64
+	for i := 0; i < nw; i++ {
+		bufs[i] = im2colGet(colRows * spatial)
+		cols[i] = (*bufs[i])[:colRows*spatial]
 	}
 	parallelFor(batch, func(worker, b int) {
 		col := cols[worker]
@@ -106,6 +137,9 @@ func (c *Conv2D) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
 			}
 		}
 	})
+	for i := 0; i < nw; i++ {
+		im2colPool.Put(bufs[i])
+	}
 	return y
 }
 
@@ -160,6 +194,27 @@ func (c *Conv2D) inferFused(ctx *Context, x *tensor.Tensor, ep *tensor.Epilogue)
 	colRows := aIn * c.KH * c.KW
 	ldW := c.In * c.KH * c.KW
 
+	// The weight is the product's A operand and immutable for the life of
+	// the pass: stream the per-width persistent pack (built once, shared by
+	// every worker and both lowerings) unless the context pins the unpacked
+	// engine.
+	var pw *tensor.PackedMat
+	if usePack(ctx) {
+		pw = c.packs.lookup(packKey{aOut, colRows})
+		if pw == nil {
+			pw = c.packs.build(packKey{aOut, colRows}, func() *tensor.PackedMat {
+				return tensor.PackA(aOut, colRows, c.W.Value.Data, ldW)
+			})
+		}
+	}
+	gemm := func(n int, col []float64, ldb int, dst []float64, ldc int) {
+		if pw != nil {
+			tensor.GemmPackedEx(aOut, n, colRows, pw, col, ldb, dst, ldc, ep)
+			return
+		}
+		tensor.GemmEx(aOut, n, colRows, c.W.Value.Data, ldW, col, ldb, dst, ldc, ep)
+	}
+
 	// Tile the batch so the lowering scratch stays under convScratchCap.
 	// The wide layout holds both the im2col matrix (colRows rows) and the
 	// channel-major output tile (aOut rows) at tb·spatial columns each, so
@@ -180,8 +235,7 @@ func (c *Conv2D) inferFused(ctx *Context, x *tensor.Tensor, ep *tensor.Epilogue)
 		for b := 0; b < batch; b++ {
 			src := x.Data[b*inPlane : (b+1)*inPlane]
 			tensor.Im2ColInto(src, aIn, h, w, c.KH, c.KW, c.Stride, c.Pad, col.Data, spatial, 0)
-			tensor.GemmEx(aOut, spatial, colRows, c.W.Value.Data, ldW, col.Data, spatial,
-				y.Data[b*outPlane:(b+1)*outPlane], spatial, ep)
+			gemm(spatial, col.Data, spatial, y.Data[b*outPlane:(b+1)*outPlane], spatial)
 		}
 		return y
 	}
@@ -199,12 +253,10 @@ func (c *Conv2D) inferFused(ctx *Context, x *tensor.Tensor, ep *tensor.Epilogue)
 		}
 		if nb == 1 {
 			// A single-sample tile's layout matches y directly.
-			tensor.GemmEx(aOut, spatial, colRows, c.W.Value.Data, ldW, col.Data, tileCols,
-				y.Data[b0*outPlane:(b0+1)*outPlane], spatial, ep)
+			gemm(spatial, col.Data, tileCols, y.Data[b0*outPlane:(b0+1)*outPlane], spatial)
 			continue
 		}
-		tensor.GemmEx(aOut, tileCols, colRows, c.W.Value.Data, ldW, col.Data, tileCols,
-			out.Data, tileCols, ep)
+		gemm(tileCols, col.Data, tileCols, out.Data, tileCols)
 		for oc := 0; oc < aOut; oc++ {
 			row := out.Data[oc*tileCols : (oc+1)*tileCols]
 			for bb := 0; bb < nb; bb++ {
@@ -231,15 +283,18 @@ func (c *Conv2D) Backward(ctx *Context, dy *tensor.Tensor) *tensor.Tensor {
 	ldW := c.In * c.KH * c.KW
 
 	nw := maxWorkers(batch)
-	// Worker-local scratch: im2col buffer, dcol buffer, and a private dW
-	// (and dB) accumulator to avoid write races; reduced after the loop.
-	cols := make([][]float64, nw)
-	dcols := make([][]float64, nw)
+	// Worker-local scratch: pooled im2col and dcol buffers (dcol is zeroed
+	// in the loop before its accumulating GEMM), plus a private dW (and dB)
+	// accumulator to avoid write races; reduced after the loop.
+	var cols, dcols [maxBatchWorkers][]float64
+	var bufs [2 * maxBatchWorkers]*[]float64
 	dws := make([][]float64, nw)
 	dbs := make([][]float64, nw)
 	for i := 0; i < nw; i++ {
-		cols[i] = make([]float64, colRows*spatial)
-		dcols[i] = make([]float64, colRows*spatial)
+		bufs[2*i] = im2colGet(colRows * spatial)
+		bufs[2*i+1] = im2colGet(colRows * spatial)
+		cols[i] = (*bufs[2*i])[:colRows*spatial]
+		dcols[i] = (*bufs[2*i+1])[:colRows*spatial]
 		dws[i] = make([]float64, len(c.W.Grad.Data))
 		if c.B != nil {
 			dbs[i] = make([]float64, c.aOut)
@@ -285,8 +340,15 @@ func (c *Conv2D) Backward(ctx *Context, dy *tensor.Tensor) *tensor.Tensor {
 			}
 		}
 	}
+	for i := 0; i < 2*nw; i++ {
+		im2colPool.Put(bufs[i])
+	}
 	return dx
 }
+
+// packCacheBytes reports the resident per-width pack memory (see
+// PackCacheBytes).
+func (c *Conv2D) packCacheBytes() int64 { return c.packs.bytes() }
 
 // Params returns the learnable parameters.
 func (c *Conv2D) Params() []*Param {

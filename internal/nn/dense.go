@@ -24,6 +24,12 @@ type Dense struct {
 	W *Param // [Out, In]
 	B *Param // [Out], nil when built without bias
 
+	// packs caches the per-width micro-panel packs of W for the GemmTB
+	// orientation of the inference path: each active (aOut, aIn) prefix is
+	// packed once (tensor.PackTB) and then served read-only to every worker.
+	// Training invalidates it (see Forward).
+	packs packCache
+
 	// cached forward state
 	x         *tensor.Tensor
 	aIn, aOut int
@@ -54,6 +60,9 @@ func (d *Dense) Active(r float64) (aIn, aOut int) {
 
 // Forward computes y[B × aOut] from x[B × aIn].
 func (d *Dense) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
+	// Forward means training (or at least a path that may precede a weight
+	// update): any cached inference packs would go stale, so drop them.
+	d.packs.invalidate()
 	r := ctx.EffRate()
 	d.aIn, d.aOut = d.Active(r)
 	if x.Rank() != 2 || x.Dim(1) != d.aIn {
@@ -110,9 +119,23 @@ func (d *Dense) inferFused(ctx *Context, x *tensor.Tensor, relu bool) *tensor.Te
 	if d.B != nil {
 		ep.ColShift = d.B.Value.Data
 	}
+	if usePack(ctx) && tensor.GemmTBPrefersPacked(batch, aOut, aIn) {
+		pm := d.packs.lookup(packKey{aOut, aIn})
+		if pm == nil {
+			pm = d.packs.build(packKey{aOut, aIn}, func() *tensor.PackedMat {
+				return tensor.PackTB(aOut, aIn, d.W.Value.Data, d.In)
+			})
+		}
+		tensor.GemmTBPackedEx(batch, aOut, aIn, x.Data, aIn, pm, y.Data, aOut, &ep)
+		return y
+	}
 	tensor.GemmTBEx(batch, aOut, aIn, x.Data, aIn, d.W.Value.Data, d.In, y.Data, aOut, &ep)
 	return y
 }
+
+// packCacheBytes reports the resident per-width pack memory (see
+// PackCacheBytes).
+func (d *Dense) packCacheBytes() int64 { return d.packs.bytes() }
 
 // Backward accumulates dW, dB and returns dx[B × aIn].
 func (d *Dense) Backward(ctx *Context, dy *tensor.Tensor) *tensor.Tensor {

@@ -40,6 +40,10 @@ type Context struct {
 	// instead of the heap and are valid until the caller's Arena.Reset.
 	// Forward ignores it.
 	Arena *tensor.Arena
+	// NoPack disables the persistent packed-weight GEMM path for this pass,
+	// forcing the unpacked engine (benchmark escape hatch and A/B oracle;
+	// see packcache.go). Zero value: packing enabled.
+	NoPack bool
 }
 
 // EffRate returns the effective slice rate (0 mapped to 1).

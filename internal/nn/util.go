@@ -6,11 +6,15 @@ import (
 	"sync"
 )
 
+// maxBatchWorkers caps intra-layer batch parallelism; worker-local scratch
+// arrays (Conv2D.Forward/Backward) are sized from it.
+const maxBatchWorkers = 4
+
 // maxWorkers bounds intra-layer batch parallelism.
 func maxWorkers(n int) int {
 	w := runtime.GOMAXPROCS(0)
-	if w > 4 {
-		w = 4
+	if w > maxBatchWorkers {
+		w = maxBatchWorkers
 	}
 	if w > n {
 		w = n

@@ -110,6 +110,9 @@ func TestHTTPMetricsAndHealth(t *testing.T) {
 		"msserver_batches_total",
 		`msserver_sample_time_seconds{rate="0.25"}`,
 		"# TYPE msserver_queue_depth gauge",
+		"# TYPE msserver_pack_cache_bytes gauge",
+		"msserver_gemm_fanouts_total",
+		"msserver_gemm_fanout_workers_total",
 	} {
 		if !strings.Contains(text, w) {
 			t.Fatalf("metrics missing %q:\n%s", w, text)

@@ -65,6 +65,15 @@ type Stats struct {
 	QueueDepth int
 	// SampleTimes is the calibrator's current per-rate t(r) in seconds.
 	SampleTimes map[float64]float64
+	// PackCacheBytes is the resident per-width weight-pack memory the
+	// shared model is holding for the packed GEMM path.
+	PackCacheBytes int64
+	// GemmFanouts / GemmFanoutWorkers are the process-wide GEMM fan-out
+	// counters (tensor.GemmStats): products split across goroutines, and
+	// workers spawned — shared by every engine in the process (including
+	// startup calibration), not attributable to one server instance.
+	GemmFanouts       int64
+	GemmFanoutWorkers int64
 }
 
 // snapshot assembles Stats; elapsed is wall time since the server started.
@@ -110,6 +119,9 @@ func (s Stats) prometheus() string {
 	gauge("msserver_queue_depth", "Queries waiting for the next window.", float64(s.QueueDepth))
 	gauge("msserver_mean_rate", "Query-weighted mean served slice rate.", s.MeanRate)
 	gauge("msserver_utilization", "Worker busy time over wall-clock time.", s.Utilization)
+	gauge("msserver_pack_cache_bytes", "Resident per-width weight-pack memory for the packed GEMM path.", float64(s.PackCacheBytes))
+	counter("msserver_gemm_fanouts_total", "Process-wide GEMM products split across goroutines (all engines in this process, calibration included).", s.GemmFanouts)
+	counter("msserver_gemm_fanout_workers_total", "Process-wide worker goroutines spawned by GEMM fan-outs.", s.GemmFanoutWorkers)
 
 	rates := make([]float64, 0, len(s.RateHist))
 	for r := range s.RateHist {

@@ -124,6 +124,7 @@ type Server struct {
 	cfg     Config
 	policy  serving.Policy
 	cal     *Calibrator
+	shared  *slicing.Shared
 	workers []*worker
 	clock   Clock
 	metrics *metrics
@@ -202,6 +203,7 @@ func New(cfg Config) (*Server, error) {
 
 	s := &Server{
 		cfg:     cfg,
+		shared:  shared,
 		workers: workers,
 		clock:   cfg.Clock,
 		metrics: newMetrics(),
@@ -343,6 +345,9 @@ func (s *Server) Stats() Stats {
 	st := s.metrics.snapshot(time.Since(s.started))
 	st.QueueDepth = s.QueueDepth()
 	st.SampleTimes = s.cal.Snapshot()
+	st.PackCacheBytes = s.shared.PackCacheBytes()
+	gc := tensor.GemmStats()
+	st.GemmFanouts, st.GemmFanoutWorkers = gc.Fanouts, gc.FanoutWorkers
 	return st
 }
 

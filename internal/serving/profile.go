@@ -20,6 +20,14 @@ import (
 // list member, in seconds per sample — directly usable as Policy.SampleTime
 // or, divided by its r=1 value, as Config.CostRatio.
 func MeasureSampleTimes(model nn.Layer, rates slicing.RateList, inShape []int, batch int) func(r float64) float64 {
+	return MeasureSharedSampleTimes(slicing.NewShared(model, rates), inShape, batch)
+}
+
+// MeasureSharedSampleTimes is MeasureSampleTimes over a caller-built Shared,
+// so the calibration runs with the caller's serving configuration (in
+// particular a SetPacked choice) instead of a fresh default handle.
+func MeasureSharedSampleTimes(shared *slicing.Shared, inShape []int, batch int) func(r float64) float64 {
+	rates := shared.Rates()
 	rates.Validate()
 	if batch <= 0 {
 		batch = 32
@@ -29,7 +37,6 @@ func MeasureSampleTimes(model nn.Layer, rates slicing.RateList, inShape []int, b
 	for i := range x.Data {
 		x.Data[i] = rng.NormFloat64()
 	}
-	shared := slicing.NewShared(model, rates)
 	arena := tensor.NewArena()
 	times := make(map[float64]float64, len(rates))
 	for _, r := range rates {

@@ -1,0 +1,134 @@
+package slicing
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"modelslicing/internal/tensor"
+)
+
+// TestSharedPackedMatchesUnpackedEndToEnd pins the acceptance bound of the
+// persistent-pack path: a packed Shared and an unpacked Shared over the same
+// parent weights must agree ≤1e-12 end-to-end at every deployable rate (and
+// in practice bit-for-bit: every layer's packed GEMM preserves the unpacked
+// engine's accumulation order).
+func TestSharedPackedMatchesUnpackedEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(600))
+	rates := NewRateList(0.25, 4)
+	model := miniCNN(rng)
+	packed := NewShared(model, rates)
+	unpacked := NewShared(model, rates)
+	unpacked.SetPacked(false)
+
+	arenaP := tensor.NewArena()
+	arenaU := tensor.NewArena()
+	for _, r := range rates {
+		x := randInput(rng, 4, 3, 8, 8)
+		got := packed.Infer(r, x, arenaP)
+		want := unpacked.Infer(r, x, arenaU)
+		if !got.SameShape(want) {
+			t.Fatalf("rate %v: packed shape %v, unpacked %v", r, got.Shape, want.Shape)
+		}
+		for i := range want.Data {
+			if d := math.Abs(got.Data[i] - want.Data[i]); d > 1e-12 {
+				t.Fatalf("rate %v: packed path differs at %d: %v vs %v (|Δ|=%g)",
+					r, i, got.Data[i], want.Data[i], d)
+			}
+		}
+		arenaP.Reset()
+		arenaU.Reset()
+	}
+	if packed.PackCacheBytes() == 0 {
+		t.Fatal("packed Shared served every rate but reports no pack memory")
+	}
+}
+
+// TestSharedPackCacheLifecycle verifies lazy per-width construction: no packs
+// before the first pass, growth as new widths are served, and no further
+// growth when widths repeat.
+func TestSharedPackCacheLifecycle(t *testing.T) {
+	rng := rand.New(rand.NewSource(601))
+	rates := NewRateList(0.25, 4)
+	shared := NewShared(miniCNN(rng), rates)
+	if b := shared.PackCacheBytes(); b != 0 {
+		t.Fatalf("fresh Shared holds %d pack bytes, want 0", b)
+	}
+	arena := tensor.NewArena()
+	shared.Infer(rates[0], randInput(rng, 2, 3, 8, 8), arena)
+	arena.Reset()
+	b1 := shared.PackCacheBytes()
+	if b1 == 0 {
+		t.Fatal("first pass built no packs")
+	}
+	shared.Infer(1, randInput(rng, 2, 3, 8, 8), arena)
+	arena.Reset()
+	b2 := shared.PackCacheBytes()
+	if b2 <= b1 {
+		t.Fatalf("serving a new width did not grow the pack cache (%d -> %d)", b1, b2)
+	}
+	for _, r := range rates {
+		shared.Infer(r, randInput(rng, 2, 3, 8, 8), arena)
+		arena.Reset()
+	}
+	b3 := shared.PackCacheBytes()
+	for _, r := range rates {
+		shared.Infer(r, randInput(rng, 2, 3, 8, 8), arena)
+		arena.Reset()
+	}
+	if b4 := shared.PackCacheBytes(); b4 != b3 {
+		t.Fatalf("repeat widths grew the pack cache (%d -> %d)", b3, b4)
+	}
+}
+
+// TestSharedPackConstructionRace hammers the lazy once-per-width pack build:
+// many workers hit a fresh Shared at every rate simultaneously, so the first
+// touch of each width races between goroutines (run with -race in CI), and
+// every worker must still reproduce the serial outputs bit-for-bit.
+func TestSharedPackConstructionRace(t *testing.T) {
+	rng := rand.New(rand.NewSource(602))
+	rates := NewRateList(0.25, 4)
+	model := miniCNN(rng)
+
+	oracle := NewShared(model, rates)
+	oracle.SetPacked(false)
+	inputs := make([]*tensor.Tensor, len(rates))
+	want := make([]*tensor.Tensor, len(rates))
+	for i, r := range rates {
+		inputs[i] = randInput(rng, 2, 3, 8, 8)
+		want[i] = oracle.Infer(r, inputs[i], nil)
+	}
+
+	// Fresh Shared: no packs exist yet, so the first pass of every worker
+	// races into the per-width builders.
+	shared := NewShared(model, rates)
+	const workers = 8
+	const iters = 10
+	var wg sync.WaitGroup
+	errs := make(chan string, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			arena := tensor.NewArena()
+			for it := 0; it < iters; it++ {
+				for i, r := range rates {
+					got := shared.Infer(r, inputs[i], arena)
+					for j := range want[i].Data {
+						if got.Data[j] != want[i].Data[j] {
+							errs <- "worker diverged from serial oracle"
+							return
+						}
+					}
+					arena.Reset()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}

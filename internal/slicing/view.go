@@ -31,6 +31,12 @@ type Shared struct {
 	// slicing still reads prefix views in place.
 	fused nn.Layer
 	rates RateList
+	// noPack pins every pass to the unpacked GEMM engine (benchmark escape
+	// hatch and A/B oracle). Default false: weight-bearing layers lazily
+	// build one micro-panel pack per active width — under a once-per-width
+	// lock, then lock-free and read-only for all server workers — so serving
+	// memory stays O(params + packs), with packs reported by PackCacheBytes.
+	noPack bool
 }
 
 // NewShared wraps a trained parent model and its rate list for zero-copy
@@ -47,6 +53,17 @@ func (s *Shared) Rates() RateList { return s.rates }
 
 // Model returns the underlying parent network.
 func (s *Shared) Model() nn.Layer { return s.model }
+
+// SetPacked toggles the persistent packed-weight GEMM path (on by default).
+// Disabling it forces every pass through the unpacked engine — the A/B
+// oracle for the packed path and the msbench -packed=false escape hatch.
+// Call before serving; the flag is read concurrently by inference workers.
+func (s *Shared) SetPacked(on bool) { s.noPack = !on }
+
+// PackCacheBytes reports the resident per-width weight-pack memory this
+// Shared's model is holding — the O(packs) term of the serving memory story,
+// exposed per rate by msbench and as a gauge on the server's /metrics.
+func (s *Shared) PackCacheBytes() int64 { return nn.PackCacheBytes(s.model) }
 
 // ctxPool recycles inference contexts so a steady-state Shared.Infer call
 // allocates nothing (the context escapes into the Layer interface call and
@@ -76,7 +93,7 @@ func (s *Shared) infer(model nn.Layer, r float64, x *tensor.Tensor, arena *tenso
 		idx = i
 	}
 	ctx := ctxPool.Get().(*nn.Context)
-	*ctx = nn.Context{Rate: r, WidthIdx: idx, Arena: arena}
+	*ctx = nn.Context{Rate: r, WidthIdx: idx, Arena: arena, NoPack: s.noPack}
 	y := nn.Infer(model, ctx, x)
 	ctxPool.Put(ctx)
 	return y

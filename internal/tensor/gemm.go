@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // The GEMM kernels below operate on raw row-major slices so that layers can
@@ -17,15 +18,19 @@ import (
 // matrix is being used.
 //
 // All three products funnel into one cache-blocked engine built around a
-// rank-4 axpy micro-kernel: four rows of B are fused into each pass over a C
-// row, so every loaded value feeds multiple multiply-adds and no accumulator
-// dependency chain forms — the pattern Go's scalar codegen schedules best (a
-// register-tiled dot-product micro-kernel loses here because its sixteen
-// live accumulators spill). B panels are blocked to stay L2-resident across
-// the row sweep; transposed operands (Aᵀ for GemmTA, Bᵀ for GemmTB) are
-// packed into row-major panels from a buffer pool so the micro-kernel always
-// streams contiguously; and the row range fans out across goroutines once
-// the problem is big enough to amortize the spawns.
+// 2×4 axpy micro-kernel: four rows of B are fused into each pass over a pair
+// of C rows, so every loaded value feeds multiple multiply-adds and no
+// accumulator dependency chain forms — the pattern Go's scalar codegen
+// schedules best (a register-tiled dot-product micro-kernel loses here
+// because its sixteen live accumulators spill). On AVX hosts the quad-axpy
+// inner loop dispatches to a vector kernel that evaluates the same
+// expression tree per lane, bit-identically (kernel.go). B panels are
+// blocked to stay L2-resident across the row sweep; transposed operands (Aᵀ
+// for GemmTA, Bᵀ for GemmTB) are packed into row-major panels from a buffer
+// pool so the micro-kernel always streams contiguously — or, for immutable
+// inference weights, packed once and for all into a persistent PackedMat
+// (pack.go); and the row range fans out across goroutines once the problem
+// is big enough to amortize the spawns.
 
 // Blocking parameters.
 const (
@@ -178,6 +183,15 @@ func gemmFanout(m, n int) (rowW, colW int) {
 	return min(workers, m/minRowsPerWorker), min(workers, n/minColsPerWorker)
 }
 
+// gemmShouldFanout is the fan-out policy shared by every parallel entry
+// point (gemmParallel, GemmPackedEx, GemmTBPackedEx, GemmWillParallelize):
+// it admits a split only when some dimension yields more than one worker and
+// the arithmetic amortizes the spawns.
+func gemmShouldFanout(m, n, k int) (rowW, colW int, ok bool) {
+	rowW, colW = gemmFanout(m, n)
+	return rowW, colW, (rowW > 1 || colW > 1) && m*n*k >= parallelGemmFlops
+}
+
 // GemmWillParallelize reports whether a product of the given shape clears
 // the fan-out thresholds under the current GOMAXPROCS — i.e. whether the
 // engine would split it across goroutines (by rows or columns). Callers with
@@ -185,8 +199,65 @@ func gemmFanout(m, n int) (rowW, colW int) {
 // cache-hotter per-sample sequence) use this to pick: the wide layout only
 // pays for its extra memory traffic when the fan-out actually engages.
 func GemmWillParallelize(m, n, k int) bool {
-	rowW, colW := gemmFanout(m, n)
-	return (rowW > 1 || colW > 1) && m*n*k >= parallelGemmFlops
+	_, _, ok := gemmShouldFanout(m, n, k)
+	return ok
+}
+
+// gemmFanoutCount / gemmFanoutWorkers count the products the engine split
+// across goroutines and the worker goroutines spawned for them — exported
+// through GemmStats so the serving layer can report how often the elastic
+// widths actually engage the fan-out path.
+var (
+	gemmFanoutCount   atomic.Int64
+	gemmFanoutWorkers atomic.Int64
+)
+
+// GemmCounters is a snapshot of the engine's global fan-out counters.
+type GemmCounters struct {
+	// Fanouts counts GEMM calls that split across goroutines.
+	Fanouts int64
+	// FanoutWorkers counts the worker goroutines those calls spawned.
+	FanoutWorkers int64
+}
+
+// GemmStats returns the process-wide GEMM fan-out counters.
+func GemmStats() GemmCounters {
+	return GemmCounters{
+		Fanouts:       gemmFanoutCount.Load(),
+		FanoutWorkers: gemmFanoutWorkers.Load(),
+	}
+}
+
+// gemmFanoutRun partitions [0, total) into chunk-sized ranges, runs each on
+// its own goroutine, and waits — the fan-out scaffolding shared by every
+// parallel GEMM entry point. The epilogue reaches the workers by value: a
+// go-closure over the caller's pointer would force every caller's stack
+// epilogue to the heap even on the serial path, so each worker receives its
+// own copy and run gets a pointer to that copy (nil when ep was nil).
+func gemmFanoutRun(total, chunk int, ep *Epilogue, run func(lo, hi int, ep *Epilogue)) {
+	var epv Epilogue
+	hasEp := ep != nil
+	if hasEp {
+		epv = *ep
+	}
+	var wg sync.WaitGroup
+	workers := 0
+	for lo := 0; lo < total; lo += chunk {
+		hi := min(lo+chunk, total)
+		workers++
+		wg.Add(1)
+		go func(lo, hi int, epv Epilogue) {
+			defer wg.Done()
+			var wep *Epilogue
+			if hasEp {
+				wep = &epv
+			}
+			run(lo, hi, wep)
+		}(lo, hi, epv)
+	}
+	gemmFanoutCount.Add(1)
+	gemmFanoutWorkers.Add(int64(workers))
+	wg.Wait()
 }
 
 // GemmTA computes C[m×n] += Aᵀ · B where A is stored as [k×m].
@@ -299,66 +370,34 @@ func gemmTBSimpleAssign(m, n, k int, a []float64, lda int, b []float64, ldb int,
 // race-free as disjoint row ranges, and the epilogue offsets follow the
 // split.
 func gemmParallel(m, n, k int, a []float64, lda int, aTrans bool, b []float64, ldb int, bTrans bool, c []float64, ldc int, assign bool, ep *Epilogue) {
-	rowW, colW := gemmFanout(m, n)
-	if (rowW <= 1 && colW <= 1) || m*n*k < parallelGemmFlops {
+	rowW, colW, ok := gemmShouldFanout(m, n, k)
+	if !ok {
 		gemmBlocked(m, n, k, a, lda, aTrans, b, ldb, bTrans, c, ldc, assign, ep, 0, 0)
 		return
 	}
-	// The workers receive the epilogue by value: capturing the caller's
-	// pointer in a go-closure would force every caller's stack epilogue to
-	// the heap — even on the serial path — and break the zero-allocation
-	// steady state of the inference engine.
-	var epv Epilogue
-	hasEp := ep != nil
-	if hasEp {
-		epv = *ep
-	}
-	var wg sync.WaitGroup
 	if rowW >= colW {
-		chunk := (m + rowW - 1) / rowW
-		for lo := 0; lo < m; lo += chunk {
-			hi := min(lo+chunk, m)
-			wg.Add(1)
-			go func(lo, hi int, epv Epilogue) {
-				defer wg.Done()
-				var wep *Epilogue
-				if hasEp {
-					wep = &epv
-				}
-				rows := hi - lo
-				if aTrans {
-					// A is [k×m]; a row offset of the logical product is a
-					// column offset in storage.
-					gemmBlocked(rows, n, k, a[lo:], lda, true, b, ldb, bTrans, c[lo*ldc:], ldc, assign, wep, lo, 0)
-				} else {
-					gemmBlocked(rows, n, k, a[lo*lda:], lda, false, b, ldb, bTrans, c[lo*ldc:], ldc, assign, wep, lo, 0)
-				}
-			}(lo, hi, epv)
-		}
-		wg.Wait()
+		gemmFanoutRun(m, (m+rowW-1)/rowW, ep, func(lo, hi int, wep *Epilogue) {
+			rows := hi - lo
+			if aTrans {
+				// A is [k×m]; a row offset of the logical product is a
+				// column offset in storage.
+				gemmBlocked(rows, n, k, a[lo:], lda, true, b, ldb, bTrans, c[lo*ldc:], ldc, assign, wep, lo, 0)
+			} else {
+				gemmBlocked(rows, n, k, a[lo*lda:], lda, false, b, ldb, bTrans, c[lo*ldc:], ldc, assign, wep, lo, 0)
+			}
+		})
 		return
 	}
-	chunk := (n + colW - 1) / colW
-	for lo := 0; lo < n; lo += chunk {
-		hi := min(lo+chunk, n)
-		wg.Add(1)
-		go func(lo, hi int, epv Epilogue) {
-			defer wg.Done()
-			var wep *Epilogue
-			if hasEp {
-				wep = &epv
-			}
-			cols := hi - lo
-			if bTrans {
-				// B is [n×k]; a column offset of the logical product is a
-				// row offset in storage.
-				gemmBlocked(m, cols, k, a, lda, aTrans, b[lo*ldb:], ldb, true, c[lo:], ldc, assign, wep, 0, lo)
-			} else {
-				gemmBlocked(m, cols, k, a, lda, aTrans, b[lo:], ldb, false, c[lo:], ldc, assign, wep, 0, lo)
-			}
-		}(lo, hi, epv)
-	}
-	wg.Wait()
+	gemmFanoutRun(n, (n+colW-1)/colW, ep, func(lo, hi int, wep *Epilogue) {
+		cols := hi - lo
+		if bTrans {
+			// B is [n×k]; a column offset of the logical product is a
+			// row offset in storage.
+			gemmBlocked(m, cols, k, a, lda, aTrans, b[lo*ldb:], ldb, true, c[lo:], ldc, assign, wep, 0, lo)
+		} else {
+			gemmBlocked(m, cols, k, a, lda, aTrans, b[lo:], ldb, false, c[lo:], ldc, assign, wep, 0, lo)
+		}
+	})
 }
 
 // gemmBlocked runs C (+)= op(A)·op(B) one (kc × nc) B panel at a time: the
@@ -436,6 +475,10 @@ func gemmBlocked(m, n, k int, a []float64, lda int, aTrans bool, b []float64, ld
 // accumulation order is the same as a one-row sweep — k-quads ascending —
 // so results are bit-identical to the rank-4 kernel this replaces.
 func gemmPanel(rows, ncb, kcb int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
+	if useAVX && ncb >= avxMinCols {
+		gemmPanelAVX(rows, ncb, kcb, a, lda, b, ldb, c, ldc)
+		return
+	}
 	i := 0
 	for ; i+2 <= rows; i += 2 {
 		ai0 := a[i*lda : i*lda+kcb]
@@ -498,6 +541,10 @@ func gemmPanelRow(ncb, kcb int, ai []float64, b []float64, ldb int, ci []float64
 // accumulate exactly as gemmPanel does. Grouping and order match gemmPanel,
 // so the result is bit-compatible with running gemmPanel on a zeroed C.
 func gemmPanelAssign(rows, ncb, kcb int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
+	if useAVX && ncb >= avxMinCols {
+		gemmPanelAssignAVX(rows, ncb, kcb, a, lda, b, ldb, c, ldc)
+		return
+	}
 	i := 0
 	for ; i+2 <= rows; i += 2 {
 		ai0 := a[i*lda : i*lda+kcb]

@@ -1,0 +1,12 @@
+//go:build !amd64
+
+package tensor
+
+// Non-amd64 hosts have no vector backend; the engine stays on the scalar
+// micro-kernels (useAVX false means the stubs below are never reached).
+var useAVX = false
+
+func axpyQuad2AVX(c0, c1, b0, b1, b2, b3, a0, a1 []float64)       { panic("tensor: no vector kernel") }
+func axpyQuad2AssignAVX(c0, c1, b0, b1, b2, b3, a0, a1 []float64) { panic("tensor: no vector kernel") }
+func axpyQuad1AVX(c0, b0, b1, b2, b3, a0 []float64)               { panic("tensor: no vector kernel") }
+func axpyQuad1AssignAVX(c0, b0, b1, b2, b3, a0 []float64)         { panic("tensor: no vector kernel") }

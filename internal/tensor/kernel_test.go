@@ -1,0 +1,70 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestVectorKernelBitIdenticalToScalar pins the contract the AVX backend is
+// built on: with the vector kernels force-disabled, every entry point must
+// produce the same bits as with them enabled — each lane evaluates the scalar
+// expression tree verbatim (mul then left-to-right adds, no FMA). Skipped on
+// hosts with no vector backend.
+func TestVectorKernelBitIdenticalToScalar(t *testing.T) {
+	if !useAVX {
+		t.Skip("no vector kernel on this host")
+	}
+	rng := rand.New(rand.NewSource(41))
+	type shape struct{ m, n, k, pad int }
+	shapes := []shape{
+		{1, 9, 5, 0},       // single row: quad1 kernels
+		{2, 8, 4, 0},       // exactly one quad call, no tails
+		{5, 13, 11, 3},     // odd everything: scalar tails on all sides
+		{8, 256, 72, 0},    // conv stage shape
+		{64, 16, 576, 1},   // deep k: multiple kc panels
+		{65, 300, 63, 2},   // ragged nc tiles
+		{16, 7, 30, 0},     // below avxMinCols: scalar either way
+		{130, 130, 130, 0}, // above the parallel threshold
+	}
+	run := func(dst []float64, s shape, a, b, bt []float64, ep *Epilogue, which int) {
+		lda, ldb, ldc := s.k+s.pad, s.n+s.pad, s.n+s.pad
+		switch which {
+		case 0:
+			Gemm(s.m, s.n, s.k, a, lda, b, ldb, dst, ldc)
+		case 1:
+			GemmEx(s.m, s.n, s.k, a, lda, b, ldb, dst, ldc, ep)
+		case 2:
+			GemmTBEx(s.m, s.n, s.k, a, lda, bt, s.k+s.pad, dst, ldc, ep)
+		case 3:
+			GemmPackedEx(s.m, s.n, s.k, PackA(s.m, s.k, a, lda), b, ldb, dst, ldc, ep)
+		case 4:
+			GemmTBPackedEx(s.m, s.n, s.k, a, lda, PackTB(s.n, s.k, bt, s.k+s.pad), dst, ldc, ep)
+		}
+	}
+	for _, s := range shapes {
+		lda, ldb, ldc := s.k+s.pad, s.n+s.pad, s.n+s.pad
+		a := make([]float64, (s.m-1)*lda+s.k+3)
+		b := make([]float64, (s.k-1)*ldb+s.n+3)
+		bt := make([]float64, (s.n-1)*(s.k+s.pad)+s.k+3)
+		fillRand(rng, a)
+		fillRand(rng, b)
+		fillRand(rng, bt)
+		ep := epilogueCase(rng, rng.Intn(64), s.m, s.n)
+		for which := 0; which < 5; which++ {
+			seed := make([]float64, (s.m-1)*ldc+s.n+3)
+			fillRand(rng, seed)
+			vec := append([]float64(nil), seed...)
+			run(vec, s, a, b, bt, ep, which)
+			useAVX = false
+			scal := append([]float64(nil), seed...)
+			run(scal, s, a, b, bt, ep, which)
+			useAVX = true
+			for i := range vec {
+				if vec[i] != scal[i] {
+					t.Fatalf("entry %d m=%d n=%d k=%d pad=%d: vector[%d]=%g, scalar=%g (not bit-identical)",
+						which, s.m, s.n, s.k, s.pad, i, vec[i], scal[i])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,289 @@
+package tensor
+
+import (
+	"fmt"
+)
+
+// Persistent pre-packed operand panels. The blocked engine (gemm.go) packs
+// transposed operands into cache-sized scratch panels on every call, and the
+// straight operands it streams still pay strided reads when the caller hands
+// in a prefix slice of a wider weight buffer. At inference time the weight
+// operand of every GEMM is immutable, so that packing is pure waste after the
+// first query: a PackedMat performs it exactly once, laying the operand out in
+// the micro-panel order the blocked loops consume, and the GemmPackedEx /
+// GemmTBPackedEx entry points stream those panels directly.
+//
+// The panel geometry matches the engine's blocking (kcBlock × ncBlock), so a
+// packed product visits memory in the same order as an unpacked one and the
+// per-element accumulation order is unchanged — packed results are
+// bit-identical to the unpacked blocked engine. (A wider 4×4 / 2×8 scalar
+// micro-kernel over the packed panels was measured and rejected: Go's scalar
+// codegen spills its sixteen live multipliers and loses 20-40% to the 2×4
+// kernel at every serving shape; the kernel win comes instead from the
+// vectorized quad-axpy of kernel.go, which both packed and unpacked paths
+// share.)
+//
+// A PackedMat is immutable after construction and safe for any number of
+// concurrent readers; parallel fan-out shares the one pack across workers
+// instead of re-packing per worker.
+
+// PackedMat is an operand repacked into the blocked engine's micro-panel
+// layout. Two layouts exist, chosen by the constructor:
+//
+//   - A-layout (PackA): the m×k left operand, stored as one m×kcb row-major
+//     panel (ld = kcb) per kc block, panels concatenated in k order. Row i of
+//     k-panel pc starts at m·pc + i·kcb.
+//   - B-layout (PackB, PackTB): the k×n right operand, stored as kcb×ncb
+//     row-major tiles (ld = ncb), k-major then n: the tile covering
+//     (pc, jc) starts at pc·n + kcb·jc.
+//
+// Both layouts hold exactly rows·cols elements — edge panels are stored at
+// their ragged size, not padded — so a pack costs the same memory as the
+// operand it shadows.
+type PackedMat struct {
+	rows, cols int // logical operand shape: A[m×k] or B[k×n]
+	aLayout    bool
+	data       []float64
+}
+
+// Dims returns the logical (rows, cols) of the packed operand: (m, k) for an
+// A-layout pack, (k, n) for a B-layout pack.
+func (p *PackedMat) Dims() (rows, cols int) { return p.rows, p.cols }
+
+// Bytes reports the resident size of the pack's panel storage.
+func (p *PackedMat) Bytes() int { return len(p.data) * 8 }
+
+// PackA packs the straight left operand A[m×k] (row stride lda) into A-layout
+// panels for GemmPackedEx.
+func PackA(m, k int, a []float64, lda int) *PackedMat {
+	checkMat("PackA A", m, k, lda, len(a))
+	p := &PackedMat{rows: m, cols: k, aLayout: true, data: make([]float64, m*k)}
+	for pc := 0; pc < k; pc += kcBlock {
+		kcb := min(kcBlock, k-pc)
+		dst := p.data[m*pc:]
+		for i := 0; i < m; i++ {
+			copy(dst[i*kcb:(i+1)*kcb], a[i*lda+pc:i*lda+pc+kcb])
+		}
+	}
+	return p
+}
+
+// PackB packs the straight right operand B[k×n] (row stride ldb) into
+// B-layout tiles for GemmTBPackedEx-style consumption via GemmPackedBEx.
+func PackB(k, n int, b []float64, ldb int) *PackedMat {
+	checkMat("PackB B", k, n, ldb, len(b))
+	p := &PackedMat{rows: k, cols: n, data: make([]float64, k*n)}
+	for pc := 0; pc < k; pc += kcBlock {
+		kcb := min(kcBlock, k-pc)
+		for jc := 0; jc < n; jc += ncBlock {
+			ncb := min(ncBlock, n-jc)
+			dst := p.data[pc*n+kcb*jc:]
+			for pp := 0; pp < kcb; pp++ {
+				copy(dst[pp*ncb:(pp+1)*ncb], b[(pc+pp)*ldb+jc:(pc+pp)*ldb+jc+ncb])
+			}
+		}
+	}
+	return p
+}
+
+// PackTB packs a transposed right operand — B stored [n×k] with row stride
+// ldb, consumed as Bᵀ[k×n] (the GemmTB orientation: a dense layer's
+// [Out × In] weight) — into the same B-layout tiles as PackB.
+func PackTB(n, k int, b []float64, ldb int) *PackedMat {
+	checkMat("PackTB B", n, k, ldb, len(b))
+	p := &PackedMat{rows: k, cols: n, data: make([]float64, k*n)}
+	for pc := 0; pc < k; pc += kcBlock {
+		kcb := min(kcBlock, k-pc)
+		for jc := 0; jc < n; jc += ncBlock {
+			ncb := min(ncBlock, n-jc)
+			// tile[p×ncb] = B[jc:jc+ncb, pc:pc+kcb]ᵀ, exactly the panel the
+			// unpacked engine re-packs per call.
+			packTrans(p.data[pc*n+kcb*jc:], kcb, ncb, b, ldb, jc, pc)
+		}
+	}
+	return p
+}
+
+// GemmTBPrefersPacked reports whether a C[m×n] = A·Bᵀ product of the given
+// shape runs on the blocked engine, where the persistent packed path is
+// faster and bit-identical to the unpacked one. Below the small-product
+// threshold GemmTB/GemmTBEx use the strided dot-product kernel instead —
+// there the pack would change the accumulation order and save nothing, so
+// callers skip packing for those widths.
+func GemmTBPrefersPacked(m, n, k int) bool { return m*n*k >= smallGemmFlops }
+
+// GemmPackedEx computes C[m×n] = epilogue(A · B) with a pre-packed A operand
+// (PackA) and a streamed B — assign mode, like GemmEx. This is the
+// convolution orientation: the immutable weight matrix is A, the per-call
+// im2col matrix is B. Results are bit-identical to GemmEx on the same
+// operands, at any GOMAXPROCS: the packed panels preserve the blocked
+// engine's per-element accumulation order, and a parallel split shares the
+// one pack across workers instead of re-packing per worker.
+func GemmPackedEx(m, n, k int, pa *PackedMat, b []float64, ldb int, c []float64, ldc int, ep *Epilogue) {
+	if pa == nil || !pa.aLayout {
+		panic("tensor: GemmPackedEx: A operand is not an A-layout pack (PackA)")
+	}
+	if pa.rows != m || pa.cols != k {
+		panic(fmt.Sprintf("tensor: GemmPackedEx: packed A is %d×%d, product wants %d×%d", pa.rows, pa.cols, m, k))
+	}
+	checkMat("GemmPackedEx B", k, n, ldb, len(b))
+	checkMat("GemmPackedEx C", m, n, ldc, len(c))
+	ep.check(m, n)
+	if ep.empty() {
+		ep = nil
+	}
+	if k == 0 {
+		gemmAssignEmptyK(m, n, c, ldc, ep)
+		return
+	}
+	rowW, colW, ok := gemmShouldFanout(m, n, k)
+	if !ok {
+		gemmBlockedPackedA(m, 0, n, k, pa, b, ldb, c, ldc, ep, 0)
+		return
+	}
+	if rowW >= colW {
+		// Row split: each worker reads its row range of the shared pack
+		// (row lo of a k-panel sits at lo·kcb inside the panel).
+		gemmFanoutRun(m, (m+rowW-1)/rowW, ep, func(lo, hi int, wep *Epilogue) {
+			gemmBlockedPackedA(hi-lo, lo, n, k, pa, b, ldb, c[lo*ldc:], ldc, wep, 0)
+		})
+		return
+	}
+	// Column split: B and C are offset per worker; the A pack needs no
+	// offset at all — every worker streams the same panels.
+	gemmFanoutRun(n, (n+colW-1)/colW, ep, func(lo, hi int, wep *Epilogue) {
+		gemmBlockedPackedACols(m, hi-lo, k, pa, b[lo:], ldb, c[lo:], ldc, wep, lo)
+	})
+}
+
+// GemmTBPackedEx computes C[m×n] = epilogue(A · Bᵀ) with B pre-packed
+// (PackTB of the [n×k]-stored operand, or PackB of a straight k×n one) and a
+// streamed A — assign mode, like GemmTBEx. This is the dense-layer
+// orientation: the immutable [Out × In] weight is Bᵀ, the activations are A.
+// Results are bit-identical to the unpacked blocked engine (the gemmParallel
+// path GemmTBEx takes above its small-product threshold) on the same
+// operands, at any GOMAXPROCS.
+func GemmTBPackedEx(m, n, k int, a []float64, lda int, pb *PackedMat, c []float64, ldc int, ep *Epilogue) {
+	if pb == nil || pb.aLayout {
+		panic("tensor: GemmTBPackedEx: B operand is not a B-layout pack (PackTB/PackB)")
+	}
+	if pb.rows != k || pb.cols != n {
+		panic(fmt.Sprintf("tensor: GemmTBPackedEx: packed B is %d×%d, product wants %d×%d", pb.rows, pb.cols, k, n))
+	}
+	checkMat("GemmTBPackedEx A", m, k, lda, len(a))
+	checkMat("GemmTBPackedEx C", m, n, ldc, len(c))
+	ep.check(m, n)
+	if ep.empty() {
+		ep = nil
+	}
+	if k == 0 {
+		gemmAssignEmptyK(m, n, c, ldc, ep)
+		return
+	}
+	rowW, colW, ok := gemmShouldFanout(m, n, k)
+	if !ok {
+		gemmBlockedPackedB(m, n, 0, k, a, lda, pb, c, ldc, ep, 0)
+		return
+	}
+	if rowW >= colW {
+		gemmFanoutRun(m, (m+rowW-1)/rowW, ep, func(lo, hi int, wep *Epilogue) {
+			gemmBlockedPackedB(hi-lo, n, 0, k, a[lo*lda:], lda, pb, c[lo*ldc:], ldc, wep, lo)
+		})
+		return
+	}
+	// Column split aligned to the pack's nc tiles, so every worker's jc
+	// loop lands on tile starts of the shared pack.
+	chunk := (n + colW - 1) / colW
+	chunk = (chunk + ncBlock - 1) / ncBlock * ncBlock
+	gemmFanoutRun(n, chunk, ep, func(lo, hi int, wep *Epilogue) {
+		gemmBlockedPackedB(m, hi-lo, lo, k, a, lda, pb, c[lo:], ldc, wep, 0)
+	})
+}
+
+// gemmAssignEmptyK fulfils the assign-mode contract for k = 0: the empty sum
+// overwrites the product region with zeros, then the epilogue runs.
+func gemmAssignEmptyK(m, n int, c []float64, ldc int, ep *Epilogue) {
+	for i := 0; i < m; i++ {
+		clear(c[i*ldc : i*ldc+n])
+	}
+	if ep != nil {
+		applyEpilogue(m, n, c, ldc, ep, 0, 0)
+	}
+}
+
+// gemmBlockedPackedA is the serial blocked engine over a packed A: C[rows×n]
+// = A[rowLo:rowLo+rows, :]·B under the epilogue, with c pointing at the
+// window's top-left element. Loop structure and per-element accumulation
+// order match gemmBlocked with a streamed non-transposed A exactly; only the
+// A addressing differs (contiguous panels, ld = kcb).
+func gemmBlockedPackedA(rows, rowLo, n, k int, pa *PackedMat, b []float64, ldb int, c []float64, ldc int, ep *Epilogue, colOff int) {
+	m := pa.rows
+	for pc := 0; pc < k; pc += kcBlock {
+		kcb := min(kcBlock, k-pc)
+		first := pc == 0
+		last := pc+kcb == k
+		ablk := pa.data[m*pc+rowLo*kcb:]
+		for jc := 0; jc < n; jc += ncBlock {
+			ncb := min(ncBlock, n-jc)
+			if first {
+				gemmPanelAssign(rows, ncb, kcb, ablk, kcb, b[pc*ldb+jc:], ldb, c[jc:], ldc)
+			} else {
+				gemmPanel(rows, ncb, kcb, ablk, kcb, b[pc*ldb+jc:], ldb, c[jc:], ldc)
+			}
+			if last && ep != nil {
+				applyEpilogue(rows, ncb, c[jc:], ldc, ep, rowLo, colOff+jc)
+			}
+		}
+	}
+}
+
+// gemmBlockedPackedACols is gemmBlockedPackedA for a column split: the
+// worker's B/C windows start at logical column colOff, while the full-height
+// A pack is shared untranslated.
+func gemmBlockedPackedACols(m, cols, k int, pa *PackedMat, b []float64, ldb int, c []float64, ldc int, ep *Epilogue, colOff int) {
+	for pc := 0; pc < k; pc += kcBlock {
+		kcb := min(kcBlock, k-pc)
+		first := pc == 0
+		last := pc+kcb == k
+		ablk := pa.data[m*pc:]
+		for jc := 0; jc < cols; jc += ncBlock {
+			ncb := min(ncBlock, cols-jc)
+			if first {
+				gemmPanelAssign(m, ncb, kcb, ablk, kcb, b[pc*ldb+jc:], ldb, c[jc:], ldc)
+			} else {
+				gemmPanel(m, ncb, kcb, ablk, kcb, b[pc*ldb+jc:], ldb, c[jc:], ldc)
+			}
+			if last && ep != nil {
+				applyEpilogue(m, ncb, c[jc:], ldc, ep, 0, colOff+jc)
+			}
+		}
+	}
+}
+
+// gemmBlockedPackedB is the serial blocked engine over a packed B: C[m×cols]
+// = A·B[:, colLo:colLo+cols] under the epilogue, with c pointing at the
+// window's top-left element and rowOff locating it in the epilogue's row
+// vectors. colLo must be a multiple of ncBlock (or 0) so the jc loop lands on
+// the pack's tile starts; the serial caller passes 0 and the parallel caller
+// aligns its split.
+func gemmBlockedPackedB(m, cols, colLo, k int, a []float64, lda int, pb *PackedMat, c []float64, ldc int, ep *Epilogue, rowOff int) {
+	n := pb.cols
+	for pc := 0; pc < k; pc += kcBlock {
+		kcb := min(kcBlock, k-pc)
+		first := pc == 0
+		last := pc+kcb == k
+		for jcl := 0; jcl < cols; jcl += ncBlock {
+			jc := colLo + jcl
+			ncb := min(ncBlock, cols-jcl)
+			bp := pb.data[pc*n+kcb*jc:]
+			if first {
+				gemmPanelAssign(m, ncb, kcb, a[pc:], lda, bp, ncb, c[jcl:], ldc)
+			} else {
+				gemmPanel(m, ncb, kcb, a[pc:], lda, bp, ncb, c[jcl:], ldc)
+			}
+			if last && ep != nil {
+				applyEpilogue(m, ncb, c[jcl:], ldc, ep, rowOff, jc)
+			}
+		}
+	}
+}
