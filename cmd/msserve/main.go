@@ -73,8 +73,9 @@ func report(s serving.Stats) {
 		fmt.Println("  no queries arrived")
 		return
 	}
-	fmt.Printf("  processed %d queries, SLO violations %d (%.2f%%)\n",
-		s.Processed, s.SLOViolations, 100*float64(s.SLOViolations)/float64(s.Processed))
+	fmt.Printf("  processed %d queries, SLO violations %d (%.2f%%), backlog-degraded windows %d\n",
+		s.Processed, s.SLOViolations, 100*float64(s.SLOViolations)/float64(s.Processed),
+		s.DegradedWindows)
 	fmt.Printf("  utilization %.1f%%, mean slice rate %.3f, delivered accuracy %.2f%%\n",
 		100*s.Utilization, s.MeanRate, 100*s.WeightedAccuracy)
 	var rates []float64
@@ -145,6 +146,16 @@ func runLive(slo time.Duration, windows int, peakRatio, burstProb, lb float64, g
 			100*s.Utilization, s.MeanRate, 100*s.WeightedAccuracy)
 	}
 
+	// The backlog-aware dispatcher's own counters: how deep the window
+	// queue ever got, and how often the deadline budget — not batch size —
+	// pushed a batch to a lower rate or past feasibility.
+	fmt.Println("\nbacklog scheduler (per arm): peak windows in flight / degraded / infeasible batches")
+	for i, a := range arms {
+		s := results[i]
+		fmt.Printf("  %-24s %4d / %4d / %4d\n",
+			a.name, s.PeakBacklogWindows, s.DegradedBatches, s.InfeasibleBatches)
+	}
+
 	elastic := results[0]
 	fmt.Println("\nper-rate traffic under the elastic policy (live):")
 	var rates []float64
@@ -169,9 +180,9 @@ func runLive(slo time.Duration, windows int, peakRatio, burstProb, lb float64, g
 		AccuracyAt:     m.AccuracyAt,
 	}
 	sim := serving.Simulate(simCfg, arrivals)
-	fmt.Printf("\nsimulation on the same trace and calibrated curve: violations %d (%.2f%%), mean rate %.3f, accuracy %.2f%%\n",
+	fmt.Printf("\nsimulation on the same trace and calibrated curve: violations %d (%.2f%%), degraded windows %d, mean rate %.3f, accuracy %.2f%%\n",
 		sim.SLOViolations, 100*float64(sim.SLOViolations)/float64(max(sim.Processed, 1)),
-		sim.MeanRate, 100*sim.WeightedAccuracy)
+		sim.DegradedWindows, sim.MeanRate, 100*sim.WeightedAccuracy)
 }
 
 // liveHeadroom derates the policy window in live mode: the load generator

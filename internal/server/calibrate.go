@@ -60,9 +60,12 @@ func (c *Calibrator) set(r, perSample float64) {
 }
 
 // Observe folds a served batch's measured duration into the estimate.
-// Batches smaller than the calibration batch are ignored (see type doc).
+// Batches smaller than the calibration batch are ignored (see type doc), as
+// are non-positive durations: batch times come from the injected clock, and
+// a fake clock that does not advance during processing must not collapse
+// the estimates to zero.
 func (c *Calibrator) Observe(r float64, n int, elapsed time.Duration) {
-	if n < c.minN || n <= 0 || c.alpha == 0 {
+	if n < c.minN || n <= 0 || c.alpha == 0 || elapsed <= 0 {
 		return
 	}
 	perSample := elapsed.Seconds() / float64(n)

@@ -113,6 +113,13 @@ func TestHTTPMetricsAndHealth(t *testing.T) {
 		"# TYPE msserver_pack_cache_bytes gauge",
 		"msserver_gemm_fanouts_total",
 		"msserver_gemm_fanout_workers_total",
+		"# TYPE msserver_backlog_windows gauge",
+		"# TYPE msserver_backlog_seconds gauge",
+		"# TYPE msserver_backlog_peak_windows gauge",
+		"# TYPE msserver_window_slack_seconds gauge",
+		"# TYPE msserver_window_ahead_seconds gauge",
+		"# TYPE msserver_inflight_queries gauge",
+		"msserver_degraded_batches_total",
 	} {
 		if !strings.Contains(text, w) {
 			t.Fatalf("metrics missing %q:\n%s", w, text)

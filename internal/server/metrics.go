@@ -2,22 +2,30 @@ package server
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"modelslicing/internal/serving"
 )
 
 // metrics aggregates the server's counters. Hot-path counts are atomics;
 // the per-rate histogram and quality accumulators take a mutex only once per
 // batch, never per query.
 type metrics struct {
-	processed  atomic.Int64 // queries answered
-	rejected   atomic.Int64 // queries refused by admission control
-	sloMisses  atomic.Int64 // answered queries whose latency exceeded T
-	batches    atomic.Int64 // batches dispatched
-	infeasible atomic.Int64 // batches where even the lowest rate overran T/2
-	busyNanos  atomic.Int64 // time workers spent processing
+	poolSize    int           // workers in the pool, for the utilization denominator
+	processed   atomic.Int64  // queries answered
+	rejected    atomic.Int64  // queries refused by admission control
+	sloMisses   atomic.Int64  // answered queries whose latency exceeded T
+	batches     atomic.Int64  // batches dispatched
+	infeasible  atomic.Int64  // batches that could not meet their deadline at any rate
+	degraded    atomic.Int64  // batches served below the empty-pool rate because of backlog
+	busyNanos   atomic.Int64  // worker·nanoseconds spent processing (elapsed × granted workers)
+	peakBacklog atomic.Int64  // deepest windows-in-flight watermark
+	lastSlack   atomic.Uint64 // float64 bits: remaining slack of the last closed window
+	lastAhead   atomic.Uint64 // float64 bits: estimated in-flight work ahead of the last closed window
 
 	mu       sync.Mutex
 	rateHist map[float64]int64 // rate → queries served at it
@@ -25,21 +33,43 @@ type metrics struct {
 	sumAcc   float64           // Σ accuracy(rate)·queries, when configured
 }
 
-func newMetrics() *metrics {
-	return &metrics{rateHist: make(map[float64]int64)}
+func newMetrics(poolSize int) *metrics {
+	return &metrics{poolSize: max(poolSize, 1), rateHist: make(map[float64]int64)}
 }
 
-// recordBatch folds one dispatched batch into the aggregates.
-func (m *metrics) recordBatch(n int, rate float64, infeasible bool, busy time.Duration, acc float64, haveAcc bool) {
+// recordDecision publishes one window's scheduling inputs the moment the
+// decision is taken (the batch may settle much later).
+func (m *metrics) recordDecision(d serving.Decision) {
+	m.lastSlack.Store(math.Float64bits(d.Slack))
+	m.lastAhead.Store(math.Float64bits(d.Ahead))
+}
+
+// observeBacklog tracks the deepest windows-in-flight watermark.
+func (m *metrics) observeBacklog(depth int64) {
+	for {
+		cur := m.peakBacklog.Load()
+		if depth <= cur || m.peakBacklog.CompareAndSwap(cur, depth) {
+			return
+		}
+	}
+}
+
+// recordBatch folds one processed batch into the aggregates. Busy time is
+// credited in worker·nanoseconds (summed across the window's shards), so
+// concurrent windows sharing the pool cannot push utilization past 1.
+func (m *metrics) recordBatch(n int, d serving.Decision, workerBusy time.Duration, acc float64, haveAcc bool) {
 	m.processed.Add(int64(n))
 	m.batches.Add(1)
-	if infeasible {
+	if !d.Feasible {
 		m.infeasible.Add(1)
 	}
-	m.busyNanos.Add(int64(busy))
+	if d.Degraded {
+		m.degraded.Add(1)
+	}
+	m.busyNanos.Add(int64(workerBusy))
 	m.mu.Lock()
-	m.rateHist[rate] += int64(n)
-	m.sumRate += rate * float64(n)
+	m.rateHist[d.Rate] += int64(n)
+	m.sumRate += d.Rate * float64(n)
 	if haveAcc {
 		m.sumAcc += acc * float64(n)
 	}
@@ -54,15 +84,37 @@ type Stats struct {
 	SLOMisses         int64
 	Batches           int64
 	InfeasibleBatches int64
-	RateHist          map[float64]int64
-	MeanRate          float64
+	// DegradedBatches counts windows served below the rate an empty pool
+	// would have picked, because backlog ate their deadline slack — the
+	// cascade made visible instead of surfacing as surprise SLO misses.
+	DegradedBatches int64
+	RateHist        map[float64]int64
+	MeanRate        float64
 	// WeightedAccuracy averages the configured per-rate accuracy over all
 	// served queries (zero when Config.AccuracyAt is nil).
 	WeightedAccuracy float64
-	// Utilization is worker busy time over wall-clock time since Start.
+	// Utilization is the worker pool's mean busy fraction since start:
+	// worker·time spent processing over pool·time elapsed, in [0, 1] even
+	// when backlogged windows run concurrently on pool partitions.
 	Utilization float64
 	// QueueDepth is the number of queries waiting for the next window.
 	QueueDepth int
+	// InFlightQueries is the number of queries dispatched but not yet
+	// answered; admission control accounts for them through the backlog
+	// horizon.
+	InFlightQueries int
+	// BacklogWindows is the number of closed windows queued or executing
+	// in the scheduler right now; PeakBacklogWindows is the deepest that
+	// has been.
+	BacklogWindows     int
+	PeakBacklogWindows int64
+	// BacklogSeconds is the estimated in-flight work ahead of a window
+	// closing now.
+	BacklogSeconds float64
+	// LastSlackSeconds / LastAheadSeconds are the deadline slack and
+	// backlog the most recent window's rate decision ran against.
+	LastSlackSeconds float64
+	LastAheadSeconds float64
 	// SampleTimes is the calibrator's current per-rate t(r) in seconds.
 	SampleTimes map[float64]float64
 	// PackCacheBytes is the resident per-width weight-pack memory the
@@ -76,15 +128,19 @@ type Stats struct {
 	GemmFanoutWorkers int64
 }
 
-// snapshot assembles Stats; elapsed is wall time since the server started.
+// snapshot assembles Stats; elapsed is clock time since the server started.
 func (m *metrics) snapshot(elapsed time.Duration) Stats {
 	s := Stats{
-		Processed:         m.processed.Load(),
-		Rejected:          m.rejected.Load(),
-		SLOMisses:         m.sloMisses.Load(),
-		Batches:           m.batches.Load(),
-		InfeasibleBatches: m.infeasible.Load(),
-		RateHist:          make(map[float64]int64),
+		Processed:          m.processed.Load(),
+		Rejected:           m.rejected.Load(),
+		SLOMisses:          m.sloMisses.Load(),
+		Batches:            m.batches.Load(),
+		InfeasibleBatches:  m.infeasible.Load(),
+		DegradedBatches:    m.degraded.Load(),
+		PeakBacklogWindows: m.peakBacklog.Load(),
+		LastSlackSeconds:   math.Float64frombits(m.lastSlack.Load()),
+		LastAheadSeconds:   math.Float64frombits(m.lastAhead.Load()),
+		RateHist:           make(map[float64]int64),
 	}
 	m.mu.Lock()
 	for r, n := range m.rateHist {
@@ -97,7 +153,7 @@ func (m *metrics) snapshot(elapsed time.Duration) Stats {
 		s.WeightedAccuracy = sumAcc / float64(s.Processed)
 	}
 	if elapsed > 0 {
-		s.Utilization = float64(m.busyNanos.Load()) / float64(elapsed)
+		s.Utilization = float64(m.busyNanos.Load()) / (float64(elapsed) * float64(m.poolSize))
 	}
 	return s
 }
@@ -115,10 +171,17 @@ func (s Stats) prometheus() string {
 	counter("msserver_queries_rejected_total", "Queries refused by admission control.", s.Rejected)
 	counter("msserver_slo_misses_total", "Answered queries that exceeded the latency SLO.", s.SLOMisses)
 	counter("msserver_batches_total", "Batches dispatched.", s.Batches)
-	counter("msserver_infeasible_batches_total", "Batches that overran the window even at the lowest rate.", s.InfeasibleBatches)
+	counter("msserver_infeasible_batches_total", "Batches that could not meet their deadline at any rate.", s.InfeasibleBatches)
+	counter("msserver_degraded_batches_total", "Batches served below the empty-pool rate because of backlog.", s.DegradedBatches)
 	gauge("msserver_queue_depth", "Queries waiting for the next window.", float64(s.QueueDepth))
+	gauge("msserver_inflight_queries", "Queries dispatched but not yet answered.", float64(s.InFlightQueries))
+	gauge("msserver_backlog_windows", "Closed windows queued or executing in the scheduler.", float64(s.BacklogWindows))
+	gauge("msserver_backlog_peak_windows", "Deepest windows-in-flight watermark since start.", float64(s.PeakBacklogWindows))
+	gauge("msserver_backlog_seconds", "Estimated in-flight work ahead of a window closing now.", s.BacklogSeconds)
+	gauge("msserver_window_slack_seconds", "Deadline slack the most recent window's rate decision ran against.", s.LastSlackSeconds)
+	gauge("msserver_window_ahead_seconds", "Backlog ahead of the most recent window at decision time.", s.LastAheadSeconds)
 	gauge("msserver_mean_rate", "Query-weighted mean served slice rate.", s.MeanRate)
-	gauge("msserver_utilization", "Worker busy time over wall-clock time.", s.Utilization)
+	gauge("msserver_utilization", "Worker pool mean busy fraction (worker time over pool time).", s.Utilization)
 	gauge("msserver_pack_cache_bytes", "Resident per-width weight-pack memory for the packed GEMM path.", float64(s.PackCacheBytes))
 	counter("msserver_gemm_fanouts_total", "Process-wide GEMM products split across goroutines (all engines in this process, calibration included).", s.GemmFanouts)
 	counter("msserver_gemm_fanout_workers_total", "Process-wide worker goroutines spawned by GEMM fan-outs.", s.GemmFanoutWorkers)

@@ -1,0 +1,185 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// scheduler is the dispatch half of the server: closed windows are sliced
+// into pool-sized shards on a single FIFO work queue, drained by whichever
+// workers are idle. Its contracts fix the serving-window latency cascade:
+//
+//   - enqueue never blocks, so the batch ticker keeps closing windows no
+//     matter how far processing has fallen behind (the old fixed-size
+//     dispatch channel parked up to 8 windows invisibly, then stalled the
+//     ticker itself). Admission control — the backlog-horizon budget plus
+//     the MaxBacklogWindows safety valve — is what bounds the queue.
+//   - windows drain in close order (earliest deadline first), and because
+//     workers pull *shards*, not whole windows, a freed worker immediately
+//     joins the oldest unfinished window: a lone window spreads across the
+//     whole idle pool, a backlog overlaps window k+1 with the tail of
+//     window k, and no worker idles while any shard waits — the
+//     work-conserving behavior the Backlog horizon models.
+//   - each in-flight shard holds exactly one worker, bounding concurrency
+//     by the pool size — no unbounded goroutines.
+type scheduler struct {
+	srv  *Server
+	pool int // total workers, for shard sizing
+
+	mu      sync.Mutex
+	tasks   []*task   // window shards in window-close order
+	free    []*worker // idle workers
+	jobs    int       // windows enqueued but not yet settled
+	running int       // shards currently executing
+	closed  bool      // no further enqueues (shutdown)
+
+	wake chan struct{} // capacity 1: queue or pool changed
+	done chan struct{} // closed once drained after shutdown
+}
+
+// task is one contiguous shard of a window's batch.
+type task struct {
+	job   *batchJob
+	shard []*query
+}
+
+// newScheduler takes ownership of the worker pool and starts the loop.
+func newScheduler(srv *Server, workers []*worker) *scheduler {
+	d := &scheduler{
+		srv:  srv,
+		pool: len(workers),
+		free: append([]*worker(nil), workers...),
+		wake: make(chan struct{}, 1),
+		done: make(chan struct{}),
+	}
+	go d.loop()
+	return d
+}
+
+// enqueue slices one closed window into at most pool shards and appends
+// them to the work queue. It never blocks, and it returns the
+// windows-in-flight depth including the new window — measured under the
+// queue lock, so the caller's peak-backlog watermark cannot miss a
+// concurrent dequeue. The shard size mirrors what runBatchOn would give
+// every worker on an idle pool; under backlog the same shards simply start
+// staggered as workers free up.
+func (d *scheduler) enqueue(job *batchJob) (depth int) {
+	n := len(job.queries)
+	per := (n + d.pool - 1) / d.pool
+	job.shards = (n + per - 1) / per
+	job.remaining.Store(int32(job.shards))
+	d.mu.Lock()
+	for lo := 0; lo < n; lo += per {
+		hi := min(lo+per, n)
+		d.tasks = append(d.tasks, &task{job: job, shard: job.queries[lo:hi]})
+	}
+	d.jobs++
+	depth = d.jobs
+	d.mu.Unlock()
+	d.notify()
+	return depth
+}
+
+// shutdown marks the end of input; done closes once the queue has drained
+// and every running shard has settled.
+func (d *scheduler) shutdown() {
+	d.mu.Lock()
+	d.closed = true
+	d.mu.Unlock()
+	d.notify()
+}
+
+// depth reports closed windows not yet fully processed.
+func (d *scheduler) depth() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.jobs
+}
+
+func (d *scheduler) notify() {
+	select {
+	case d.wake <- struct{}{}:
+	default:
+	}
+}
+
+// loop pairs idle workers with waiting shards, oldest window first.
+func (d *scheduler) loop() {
+	defer close(d.done)
+	for {
+		d.mu.Lock()
+		for len(d.tasks) > 0 && len(d.free) > 0 {
+			t := d.tasks[0]
+			d.tasks = d.tasks[1:]
+			wk := d.free[len(d.free)-1]
+			d.free = d.free[:len(d.free)-1]
+			d.running++
+			go d.run(t, wk)
+		}
+		exit := d.closed && len(d.tasks) == 0 && d.running == 0
+		d.mu.Unlock()
+		if exit {
+			return
+		}
+		<-d.wake
+	}
+}
+
+// run executes one shard; whoever finishes a window's last shard settles
+// the whole window.
+func (d *scheduler) run(t *task, wk *worker) {
+	s := d.srv
+	start := s.clock.Now()
+	wk.run(t.shard, t.job.decision.Rate, s.cfg.InputShape)
+	t.job.workerNanos.Add(int64(s.clock.Now().Sub(start)))
+
+	last := t.job.remaining.Add(-1) == 0
+	if last {
+		d.finish(t.job)
+	}
+	d.mu.Lock()
+	d.free = append(d.free, wk)
+	d.running--
+	if last {
+		d.jobs--
+	}
+	d.mu.Unlock()
+	d.notify()
+}
+
+// finish folds a completed window back into the server: the calibrator
+// sees the pool-effective batch time — accumulated worker·time divided by
+// the shard count (the concurrency the batch could actually use; the pool
+// size for any window at least one shard per worker) — the same quantity
+// it measured at startup. t(r) keeps learning even (especially) while
+// backlog staggers shards across busy pools, where a naive wall-clock
+// measurement would be inflated by queueing.
+func (d *scheduler) finish(job *batchJob) {
+	s := d.srv
+	workerBusy := time.Duration(job.workerNanos.Load())
+	s.cal.Observe(job.decision.Rate, len(job.queries), workerBusy/time.Duration(job.shards))
+	s.settle(job, workerBusy)
+}
+
+// runBatchOn splits a batch into contiguous shards, one per given worker,
+// and runs them all concurrently — the full-pool fast path the startup
+// calibration times.
+func runBatchOn(workers []*worker, queries []*query, rate float64, inputShape []int) {
+	n := len(queries)
+	w := min(len(workers), n)
+	per := (n + w - 1) / w
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		lo := i * per
+		hi := min(lo+per, n)
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(wk *worker, shard []*query) {
+			defer wg.Done()
+			wk.run(shard, rate, inputShape)
+		}(workers[i], queries[lo:hi])
+	}
+	wg.Wait()
+}

@@ -2,19 +2,23 @@
 // inference engine that serves real queries under a latency SLO with the
 // Section 4.1 elastic-batching scheme. Queries accumulate for one T/2
 // wall-clock window; when the window closes the batch is served at the
-// largest slice rate the Equation-3 policy admits, by a pool of workers that
-// share one read-only parent weight set (slicing.Shared): each worker runs
-// the zero-copy inference path with its own activation arena, so server
-// memory is O(params) + O(workers · activations) instead of the
-// O(workers · rates · params) of per-worker Extract-ed replicas, and a
-// shard's batch runs one batched GEMM per layer. Per-rate per-sample times
-// come from an online calibrator rather than the r² idealization, admission
-// control sheds load once even the lowest rate cannot save the next window,
-// and everything is observable over a Prometheus-style /metrics endpoint.
+// largest slice rate the Equation-3 policy admits — budgeted not against a
+// fresh T/2 but against the window's remaining deadline slack, with the
+// estimated work already in flight ahead of it subtracted (the shared
+// serving.Backlog model), so overruns degrade later windows visibly instead
+// of compounding into silent SLO misses. Closed windows go to a scheduler
+// that partitions the worker pool across the backlog: workers share one
+// read-only parent weight set (slicing.Shared), each runs the zero-copy
+// inference path with its own activation arena, and a shard's batch runs one
+// batched GEMM per layer. Per-rate per-sample times come from an online
+// calibrator rather than the r² idealization, admission control sheds load
+// against the same backlog horizon the rate decision uses, and everything is
+// observable over a Prometheus-style /metrics endpoint.
 //
-// The scheduling decision itself lives in serving.Policy, shared with the
-// clock-free simulation, so the live path and the simulated path cannot
-// drift apart.
+// The scheduling decision itself lives in serving.Policy and
+// serving.Backlog, shared with the clock-free simulation, so the live path
+// and the simulated path cannot drift apart — a lockstep test drives both
+// with one arrival trace and demands identical per-window decisions.
 package server
 
 import (
@@ -25,6 +29,7 @@ import (
 	"runtime"
 	"slices"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"modelslicing/internal/nn"
@@ -35,10 +40,11 @@ import (
 
 // Errors returned by Submit.
 var (
-	// ErrOverloaded signals admission control: the pending queue already
-	// exceeds what the lowest rate can process within the window, so
-	// accepting the query could only add an SLO miss.
-	ErrOverloaded = errors.New("server: overloaded, queue exceeds lower-bound capacity")
+	// ErrOverloaded signals admission control: the deadline slack left
+	// after the work already queued and in flight cannot absorb another
+	// pending query even at the lowest rate, so accepting it could only
+	// add an SLO miss.
+	ErrOverloaded = errors.New("server: overloaded, backlog exceeds lower-bound capacity")
 	// ErrStopped signals a query submitted during or after shutdown.
 	ErrStopped = errors.New("server: stopped")
 )
@@ -56,16 +62,27 @@ type Config struct {
 	SLO time.Duration
 	// Workers is the number of parallel shards a batch is split across.
 	// Workers share one read-only weight set (the zero-copy inference path
-	// is goroutine-safe); each holds only a private activation arena.
+	// is goroutine-safe); each holds only a private activation arena. When
+	// backlog parks more than one closed window, the scheduler partitions
+	// the pool so the windows drain concurrently.
 	// Default: min(4, GOMAXPROCS).
 	Workers int
 	// QueueFactor scales the admission bound: submissions are rejected
-	// once pending > QueueFactor·capacity(r_min). Default 1.
+	// once pending > QueueFactor·capacity(r_min) within the slack the
+	// backlog leaves of the next window. Default 1.
 	QueueFactor float64
-	// Headroom in (0, 1] derates the window the policy budgets against,
-	// reserving slack for request intake, GC and OS jitter on saturated
-	// machines (a single-core host serving its own load generator needs
-	// ~0.7). Default 1: the full T/2 is spent on inference.
+	// MaxBacklogWindows is a hard cap on closed windows in flight — the
+	// safety valve for when reality diverges from the calibrated model (a
+	// wedged pool, a pathological query): the estimated horizon budgets
+	// admission in the common case, but beyond this many unfinished
+	// windows submissions are shed regardless of what the model claims,
+	// bounding queued memory. Default 8.
+	MaxBacklogWindows int
+	// Headroom in (0, 1] derates the deadline slack the policy budgets
+	// against, reserving slack for request intake, GC and OS jitter on
+	// saturated machines (a single-core host serving its own load
+	// generator needs ~0.7). Default 1: the full slack is spent on
+	// inference.
 	Headroom float64
 	// FixedRate pins the policy to a single rate when > 0 — the
 	// fixed-width provisioning baseline the paper argues against.
@@ -74,7 +91,10 @@ type Config struct {
 	// accounting; nil disables it.
 	AccuracyAt func(r float64) float64
 	// Clock supplies time; nil means the wall clock. Tests inject a
-	// FakeClock to drive windows deterministically.
+	// FakeClock to drive windows deterministically. Every time the server
+	// reads — window ticks, latency, batch elapsed, uptime — comes from
+	// this one source, so fake-clock tests exercise exactly the arithmetic
+	// production runs.
 	Clock Clock
 	// SampleTime, when non-nil, fixes t(r) instead of measuring it at
 	// startup (tests and pre-profiled deployments).
@@ -90,7 +110,8 @@ type Result struct {
 	Output *tensor.Tensor
 	// Rate is the slice rate the query's batch was served at.
 	Rate float64
-	// Latency is submission-to-completion time.
+	// Latency is submission-to-completion time. It includes any queueing
+	// delay spent behind windows that were in flight ahead of this one.
 	Latency time.Duration
 	// SLOMiss reports whether Latency exceeded the configured SLO.
 	SLOMiss bool
@@ -104,11 +125,18 @@ type query struct {
 	result   *tensor.Tensor
 }
 
-// batchJob is one closed window's worth of queries with its rate decision.
+// batchJob is one closed window's worth of queries with its backlog-aware
+// scheduling decision and its execution bookkeeping.
 type batchJob struct {
-	queries    []*query
-	rate       float64
-	infeasible bool
+	queries  []*query
+	decision serving.Decision
+	// shards is how many pieces the window was sliced into; remaining
+	// counts the unfinished ones, and whoever finishes the last settles
+	// the window. workerNanos accumulates worker·time across the shards
+	// for utilization and calibration.
+	shards      int
+	remaining   atomic.Int32
+	workerNanos atomic.Int64
 }
 
 // worker owns one activation arena; the weights it reads are the server's
@@ -132,18 +160,19 @@ type Server struct {
 
 	mu       sync.Mutex
 	pending  []*query
+	inflight int             // queries dispatched but not yet answered
+	backlog  serving.Backlog // estimated completion horizon of dispatched work
 	stopping bool
 
-	dispatch chan *batchJob
+	sched    *scheduler
 	quit     chan struct{}
-	doneCh   chan struct{}
+	tickDone chan struct{} // one token per processed tick (test synchronization)
 	stopOnce sync.Once
 }
 
-// New validates the configuration, extracts and caches one subnet per
-// (worker, rate), calibrates per-rate sample times, and starts the batching
-// and dispatching goroutines. The returned server is live; release it with
-// Stop.
+// New validates the configuration, calibrates per-rate sample times through
+// the shared zero-copy path, and starts the batching and scheduling
+// goroutines. The returned server is live; release it with Stop.
 func New(cfg Config) (*Server, error) {
 	if cfg.Model == nil {
 		return nil, errors.New("server: nil model")
@@ -167,6 +196,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.QueueFactor <= 0 {
 		cfg.QueueFactor = 1
+	}
+	if cfg.MaxBacklogWindows <= 0 {
+		cfg.MaxBacklogWindows = 8
 	}
 	if cfg.Headroom < 0 || cfg.Headroom > 1 {
 		return nil, fmt.Errorf("server: headroom %v outside (0, 1]", cfg.Headroom)
@@ -202,18 +234,14 @@ func New(cfg Config) (*Server, error) {
 	}
 
 	s := &Server{
-		cfg:     cfg,
-		shared:  shared,
-		workers: workers,
-		clock:   cfg.Clock,
-		metrics: newMetrics(),
-		started: time.Now(),
-		// A small buffer lets processing of window k overlap the collection
-		// of window k+1 without unbounding memory; admission control keeps
-		// the queue itself finite.
-		dispatch: make(chan *batchJob, 8),
+		cfg:      cfg,
+		shared:   shared,
+		workers:  workers,
+		clock:    cfg.Clock,
+		metrics:  newMetrics(cfg.Workers),
+		started:  cfg.Clock.Now(),
 		quit:     make(chan struct{}),
-		doneCh:   make(chan struct{}),
+		tickDone: make(chan struct{}, 1),
 	}
 	if cfg.SampleTime != nil {
 		s.cal = newStaticCalibrator(deploy, cfg.SampleTime)
@@ -230,8 +258,8 @@ func New(cfg Config) (*Server, error) {
 		Window:     (cfg.SLO / 2).Seconds() * cfg.Headroom,
 		SampleTime: s.cal.SampleTime,
 	}
+	s.sched = newScheduler(s, workers)
 	go s.batchLoop()
-	go s.dispatchLoop()
 	return s, nil
 }
 
@@ -239,7 +267,9 @@ func New(cfg Config) (*Server, error) {
 // same path live batches take — so t(r) reflects pool throughput, not
 // single-worker serial time: one warm-up, then the best of three timed runs
 // (minimum filters scheduler noise; the EWMA absorbs any residual optimism
-// once real traffic flows).
+// once real traffic flows). This is a genuine hardware measurement, so it
+// reads the wall clock directly — an injected fake clock cannot speed up
+// the silicon it is timing.
 func (s *Server) measureSampleTimes(deploy slicing.RateList, batchN int) {
 	rng := rand.New(rand.NewSource(0))
 	queries := make([]*query, batchN)
@@ -251,11 +281,11 @@ func (s *Server) measureSampleTimes(deploy slicing.RateList, batchN int) {
 		queries[i] = &query{x: x}
 	}
 	for _, r := range deploy {
-		s.runBatch(queries, r)
+		runBatchOn(s.workers, queries, r, s.cfg.InputShape)
 		best := time.Duration(math.MaxInt64)
 		for i := 0; i < 3; i++ {
 			start := time.Now()
-			s.runBatch(queries, r)
+			runBatchOn(s.workers, queries, r, s.cfg.InputShape)
 			if d := time.Since(start); d < best {
 				best = d
 			}
@@ -278,13 +308,34 @@ func (s *Server) minRate() float64 {
 	return s.cfg.Rates.Min()
 }
 
-// admissionLimit is the deepest pending queue worth accepting: beyond
-// QueueFactor times the window capacity at the lowest rate, the next batch
-// overruns no matter which rate the policy picks. An unbounded capacity
-// (t(r_min) ≤ 0) means unbounded admission, and the float product must not
-// be narrowed to int before that check — float64(MaxInt) converts to MinInt.
-func (s *Server) admissionLimit() int {
-	limit := s.cfg.QueueFactor * float64(s.policy.Capacity(s.minRate()))
+// sinceStart maps a clock reading onto the policy's time axis (seconds
+// since the server started) — the coordinate system the backlog horizon
+// lives in.
+func (s *Server) sinceStart(t time.Time) float64 {
+	return t.Sub(s.started).Seconds()
+}
+
+// admissionLimit is the deepest pending queue worth accepting given the
+// current backlog. The pending queries will be decided at the next window
+// close, roughly T/2 away; whatever estimated in-flight work outlasts even
+// that moment is subtracted from the policy window, and the limit is
+// QueueFactor times the lower-bound capacity of the remainder. With an
+// empty horizon this is exactly the classic QueueFactor·Capacity(r_min);
+// as parked windows pile up it shrinks to zero, so ErrOverloaded fires
+// while the batch ticker is still ticking — the system sheds load when it
+// is actually saturated, instead of counting only s.pending and going
+// blind to the windows already in the dispatcher. Callers hold s.mu.
+//
+// An unbounded capacity (t(r_min) ≤ 0) means unbounded admission, and the
+// float product must not be narrowed to int before that check —
+// float64(MaxInt) converts to MinInt.
+func (s *Server) admissionLimit(now time.Time) int {
+	nextClose := s.sinceStart(now) + (s.cfg.SLO / 2).Seconds()
+	budget := s.policy.Window - s.backlog.Ahead(nextClose)
+	if budget <= 0 {
+		return 0
+	}
+	limit := s.cfg.QueueFactor * float64(s.policy.CapacityWithin(s.minRate(), budget))
 	if limit >= float64(math.MaxInt) {
 		return math.MaxInt
 	}
@@ -296,18 +347,26 @@ func (s *Server) admissionLimit() int {
 // single-sample shape exactly — element count alone is not enough (a
 // [32, 3, 32] tensor is not a valid sample for a [3, 32, 32] model even
 // though the sizes agree). Submissions are rejected with ErrOverloaded under
-// backpressure and ErrStopped during shutdown.
+// backpressure — which accounts for the queries already dispatched and in
+// flight, through the backlog horizon — and ErrStopped during shutdown.
 func (s *Server) Submit(x *tensor.Tensor) (<-chan Result, error) {
 	if x == nil || !slices.Equal(x.Shape, s.cfg.InputShape) {
 		return nil, fmt.Errorf("server: input shape %v, model wants %v", shapeOf(x), s.cfg.InputShape)
 	}
-	q := &query{x: x, enqueued: s.clock.Now(), done: make(chan Result, 1)}
+	now := s.clock.Now()
+	q := &query{x: x, enqueued: now, done: make(chan Result, 1)}
 	s.mu.Lock()
 	if s.stopping {
 		s.mu.Unlock()
 		return nil, ErrStopped
 	}
-	if len(s.pending) >= s.admissionLimit() {
+	// The safety valve: when this many windows are genuinely unfinished,
+	// the model's horizon has lost touch with reality (it drains with the
+	// clock whether or not work completes) and cannot be trusted to bound
+	// the queue. Checked after stopping so shutdown keeps its error
+	// contract (ErrStopped, not a retryable ErrOverloaded).
+	if s.sched.depth() >= s.cfg.MaxBacklogWindows ||
+		len(s.pending) >= s.admissionLimit(now) {
 		s.mu.Unlock()
 		s.metrics.rejected.Add(1)
 		return nil, ErrOverloaded
@@ -340,10 +399,23 @@ func (s *Server) QueueDepth() int {
 	return len(s.pending)
 }
 
+// InFlight reports the number of queries dispatched but not yet answered.
+func (s *Server) InFlight() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inflight
+}
+
 // Stats snapshots the server's aggregate counters.
 func (s *Server) Stats() Stats {
-	st := s.metrics.snapshot(time.Since(s.started))
-	st.QueueDepth = s.QueueDepth()
+	now := s.clock.Now()
+	st := s.metrics.snapshot(now.Sub(s.started))
+	s.mu.Lock()
+	st.QueueDepth = len(s.pending)
+	st.InFlightQueries = s.inflight
+	st.BacklogSeconds = s.backlog.Ahead(s.sinceStart(now))
+	s.mu.Unlock()
+	st.BacklogWindows = s.sched.depth()
 	st.SampleTimes = s.cal.Snapshot()
 	st.PackCacheBytes = s.shared.PackCacheBytes()
 	gc := tensor.GemmStats()
@@ -360,14 +432,16 @@ func (s *Server) Stop() {
 		s.stopping = true
 		s.mu.Unlock()
 		close(s.quit)
-		<-s.doneCh
+		<-s.sched.done
 	})
 }
 
 // batchLoop closes a window every T/2 tick: it drains the pending queue,
-// resolves the Equation-3 rate for the batch size it found, and hands the
-// job to the dispatcher so processing of this window overlaps collection of
-// the next — exactly the pipelining that makes T/2 batching meet a T bound.
+// resolves the backlog-aware rate for the batch it found, and hands the job
+// to the scheduler so processing of this window overlaps collection of the
+// next — the pipelining that makes T/2 batching meet a T bound. The
+// handoff never blocks, so the ticker keeps closing windows no matter how
+// far processing has fallen behind.
 func (s *Server) batchLoop() {
 	ticks, stopTicker := s.clock.Ticker(s.cfg.SLO / 2)
 	defer stopTicker()
@@ -375,25 +449,54 @@ func (s *Server) batchLoop() {
 		select {
 		case <-s.quit:
 			s.flush()
-			close(s.dispatch)
+			s.sched.shutdown()
 			return
 		case <-ticks:
 			s.closeWindow()
+			// Non-blocking token for tests that must know the window
+			// decision has been taken before they act on the next window.
+			select {
+			case s.tickDone <- struct{}{}:
+			default:
+			}
 		}
 	}
 }
 
-// closeWindow forms and dispatches the current batch, if any.
+// closeWindow forms the current batch, takes its backlog-aware scheduling
+// decision, and enqueues it for processing.
 func (s *Server) closeWindow() {
+	now := s.clock.Now()
 	s.mu.Lock()
 	batch := s.pending
 	s.pending = nil
-	s.mu.Unlock()
 	if len(batch) == 0 {
+		s.mu.Unlock()
 		return
 	}
-	rate, feasible := s.choose(len(batch))
-	s.dispatch <- &batchJob{queries: batch, rate: rate, infeasible: !feasible}
+	d := s.decide(len(batch), batch[0].enqueued, now)
+	s.inflight += len(batch)
+	s.mu.Unlock()
+
+	s.metrics.recordDecision(d)
+	job := &batchJob{queries: batch, decision: d}
+	s.metrics.observeBacklog(int64(s.sched.enqueue(job)))
+}
+
+// decide maps the window onto the policy's time axis and budgets it against
+// the deadline of its oldest query: slack = Headroom·(deadline − now) minus
+// the estimated work already dispatched ahead of it. The same
+// serving.Backlog arithmetic runs in the clock-free simulation, which is
+// what the lockstep test pins. Callers hold s.mu.
+func (s *Server) decide(n int, oldest, now time.Time) serving.Decision {
+	nowF := s.sinceStart(now)
+	// Headroom derates the usable slack exactly as it derates the policy
+	// window: the reserve pays for intake, GC and OS jitter.
+	deadline := nowF + oldest.Add(s.cfg.SLO).Sub(now).Seconds()*s.cfg.Headroom
+	if s.cfg.FixedRate > 0 {
+		return s.backlog.DecideRate(s.policy, n, s.cfg.FixedRate, deadline, nowF)
+	}
+	return s.backlog.Decide(s.policy, n, deadline, nowF)
 }
 
 // flush drains whatever is pending at shutdown so no query goes unanswered.
@@ -401,68 +504,33 @@ func (s *Server) flush() {
 	s.closeWindow()
 }
 
-// choose resolves the serving rate for a batch of n: the shared Equation-3
-// policy in elastic mode, or the pinned rate (with its own feasibility
-// check) in fixed-width baseline mode.
-func (s *Server) choose(n int) (rate float64, feasible bool) {
-	if s.cfg.FixedRate > 0 {
-		return s.cfg.FixedRate, s.policy.BatchTime(n, s.cfg.FixedRate) <= s.policy.Window
-	}
-	return s.policy.Choose(n)
-}
+// settle answers every query of a processed window and folds the batch into
+// the aggregate counters. Latency is measured against the injected clock —
+// the same source the windows tick on — and includes the queueing delay the
+// batch spent behind the windows in flight ahead of it. workerBusy is the
+// window's accumulated worker·time.
+func (s *Server) settle(job *batchJob, workerBusy time.Duration) {
+	n := len(job.queries)
+	s.mu.Lock()
+	s.inflight -= n
+	s.mu.Unlock()
 
-// dispatchLoop serves batches in arrival order, sharding each across the
-// worker pool, then settles every query and feeds the measured duration
-// back into the calibrator.
-func (s *Server) dispatchLoop() {
-	defer close(s.doneCh)
-	for job := range s.dispatch {
-		n := len(job.queries)
-		start := time.Now()
-		s.runBatch(job.queries, job.rate)
-		elapsed := time.Since(start)
-		s.cal.Observe(job.rate, n, elapsed)
-
-		now := s.clock.Now()
-		misses := int64(0)
-		for _, q := range job.queries {
-			latency := now.Sub(q.enqueued)
-			miss := latency > s.cfg.SLO
-			if miss {
-				misses++
-			}
-			q.done <- Result{Output: q.result, Rate: job.rate, Latency: latency, SLOMiss: miss}
+	now := s.clock.Now()
+	misses := int64(0)
+	for _, q := range job.queries {
+		latency := now.Sub(q.enqueued)
+		miss := latency > s.cfg.SLO
+		if miss {
+			misses++
 		}
-		s.metrics.sloMisses.Add(misses)
-		acc, haveAcc := 0.0, false
-		if s.cfg.AccuracyAt != nil {
-			acc, haveAcc = s.cfg.AccuracyAt(job.rate), true
-		}
-		s.metrics.recordBatch(n, job.rate, job.infeasible, elapsed, acc, haveAcc)
+		q.done <- Result{Output: q.result, Rate: job.decision.Rate, Latency: latency, SLOMiss: miss}
 	}
-}
-
-// runBatch splits the batch into contiguous shards, one per worker, and
-// runs them concurrently. Each worker stacks its shard into a single pass
-// through the shared zero-copy inference path at the chosen rate.
-func (s *Server) runBatch(queries []*query, rate float64) {
-	n := len(queries)
-	w := min(len(s.workers), n)
-	per := (n + w - 1) / w
-	var wg sync.WaitGroup
-	for i := 0; i < w; i++ {
-		lo := i * per
-		hi := min(lo+per, n)
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(wk *worker, shard []*query) {
-			defer wg.Done()
-			wk.run(shard, rate, s.cfg.InputShape)
-		}(s.workers[i], queries[lo:hi])
+	s.metrics.sloMisses.Add(misses)
+	acc, haveAcc := 0.0, false
+	if s.cfg.AccuracyAt != nil {
+		acc, haveAcc = s.cfg.AccuracyAt(job.decision.Rate), true
 	}
-	wg.Wait()
+	s.metrics.recordBatch(n, job.decision, workerBusy, acc, haveAcc)
 }
 
 // run forwards one shard as a single batch at the given rate through the

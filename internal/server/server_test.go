@@ -353,10 +353,34 @@ func TestCalibratorObserveEWMA(t *testing.T) {
 	if got := c.SampleTime(0.5); math.Abs(got-want) > 1e-12 {
 		t.Fatalf("zero-sample observation moved the estimate to %v", got)
 	}
+	// A fake clock that does not advance during processing reports zero
+	// elapsed; that must not collapse the estimate toward zero.
+	c.Observe(0.5, 10, 0)
+	if got := c.SampleTime(0.5); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("zero-elapsed observation moved the estimate to %v", got)
+	}
 	s := newStaticCalibrator(slicing.RateList{0.5, 1}, func(r float64) float64 { return r })
 	s.Observe(0.5, 10, time.Hour) // static calibrators never move
 	if got := s.SampleTime(0.5); got != 0.5 {
 		t.Fatalf("static calibrator moved to %v", got)
+	}
+}
+
+// TestInjectedClockIsTheOnlyTimeSource pins the time-source unification:
+// batch elapsed, per-query latency and uptime all flow through the injected
+// Clock. Under a FakeClock that never advances during processing, worker
+// busy time is exactly zero — any non-zero utilization means a wall-clock
+// read (the old time.Now()/time.Since mix) leaked back into the arithmetic.
+func TestInjectedClockIsTheOnlyTimeSource(t *testing.T) {
+	s, clk := testServer(t, nil)
+	ch, err := s.Submit(input(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk.Tick(time.Second)
+	<-ch
+	if st := s.Stats(); st.Utilization != 0 {
+		t.Fatalf("utilization %v under a frozen fake clock; a wall-clock read leaked in", st.Utilization)
 	}
 }
 

@@ -1,0 +1,110 @@
+package serving
+
+// Backlog is the scheduling-state half of the Section 4.1 policy: a single
+// completion horizon — when the work already dispatched is estimated to
+// finish — on the policy's time axis. The T/2 guarantee ("window k+1 is
+// collected while window k is processed") holds only while every batch fits
+// its window; the moment one overruns, the windows behind it inherit the
+// delay, and a policy that budgets each window a fresh T/2 compounds the
+// error silently. Backlog makes that queueing delay an explicit input to the
+// rate decision.
+//
+// The horizon is work-conserving: batch times are pool-effective (the
+// calibrator measures whole batches through the full worker pool), so
+// partitioning the pool across concurrent windows changes who runs when, not
+// when everything finishes. That lets one scalar model a dispatcher that may
+// run several windows at once, and lets the clock-free simulation and the
+// live server share the arithmetic exactly — the lockstep tests in
+// internal/server drive both with one trace and demand identical decisions.
+//
+// The model is deliberately estimate-based, never corrected by completion
+// events: estimates drift is the calibrator's job (its EWMA folds measured
+// batch times back into t(r)), and a model-only horizon is deterministic
+// under a fake clock, which is what makes the live path testable in
+// lockstep with the simulation. Feasible traffic self-drains — each window
+// appends at most one window's worth of work while the clock advances one
+// window — so the horizon only runs ahead of the clock while batches
+// genuinely overrun.
+type Backlog struct {
+	horizon float64 // completion time of all dispatched work
+}
+
+// Horizon returns the absolute estimated completion time of all dispatched
+// work, in the policy's time units.
+func (b *Backlog) Horizon() float64 { return b.horizon }
+
+// Ahead returns the estimated work still in flight at time now: how much
+// longer the pool needs, beyond now, to finish everything already
+// dispatched. Zero once the horizon has drained past now.
+func (b *Backlog) Ahead(now float64) float64 {
+	if b.horizon <= now {
+		return 0
+	}
+	return b.horizon - now
+}
+
+// Extend appends work to the horizon, starting no earlier than now, and
+// reports the estimated start and completion. It is the bookkeeping half of
+// Decide, exposed for runners (the fixed-capacity baseline) that pin the
+// rate themselves but still want makespan accounting.
+func (b *Backlog) Extend(now, work float64) (start, completion float64) {
+	start = max(b.horizon, now)
+	b.horizon = start + work
+	return start, b.horizon
+}
+
+// Decision is one window's backlog-aware scheduling outcome.
+type Decision struct {
+	// Rate is the slice rate chosen for the batch.
+	Rate float64
+	// Feasible reports whether the batch at Rate meets the window's
+	// deadline given the backlog ahead of it; false means every query in
+	// the window will miss the latency bound.
+	Feasible bool
+	// Degraded reports that backlog — not batch size — cost this window:
+	// an empty pool would have served it at a higher rate, or feasibly.
+	Degraded bool
+	// Slack is the remaining budget the rate decision ran against:
+	// deadline − now − Ahead.
+	Slack float64
+	// Ahead is the estimated in-flight work at decision time.
+	Ahead float64
+	// Work is the estimated batch processing time n·t(Rate).
+	Work float64
+	// Start and Completion bound the batch's estimated execution on the
+	// work-conserving timeline.
+	Start, Completion float64
+}
+
+// Decide resolves the rate for a window of n queries closing at time now
+// whose oldest query expires at deadline. Instead of Equation 3's fresh T/2,
+// the batch is budgeted against its remaining slack — deadline minus now
+// minus the estimated work already dispatched ahead of it — so rates fall
+// (and Degraded records why) as backlog builds, and recover to the full
+// rate as the horizon drains. The chosen batch's estimated work is then
+// appended to the horizon for the windows behind it.
+func (b *Backlog) Decide(p Policy, n int, deadline, now float64) Decision {
+	d := Decision{Ahead: b.Ahead(now)}
+	d.Slack = deadline - now - d.Ahead
+	d.Rate, d.Feasible = p.ChooseSlack(n, d.Slack)
+	if d.Ahead > 0 {
+		freeRate, freeOK := p.ChooseSlack(n, deadline-now)
+		d.Degraded = d.Rate < freeRate || (freeOK && !d.Feasible)
+	}
+	d.Work = p.BatchTime(n, d.Rate)
+	d.Start, d.Completion = b.Extend(now, d.Work)
+	return d
+}
+
+// DecideRate is Decide with the rate pinned — the fixed-width baseline arm.
+// Feasibility and horizon bookkeeping use the same slack model; only the
+// rate choice is forced.
+func (b *Backlog) DecideRate(p Policy, n int, rate, deadline, now float64) Decision {
+	d := Decision{Rate: rate, Ahead: b.Ahead(now)}
+	d.Slack = deadline - now - d.Ahead
+	d.Work = p.BatchTime(n, rate)
+	d.Feasible = d.Work <= d.Slack
+	d.Degraded = d.Ahead > 0 && !d.Feasible && d.Work <= deadline-now
+	d.Start, d.Completion = b.Extend(now, d.Work)
+	return d
+}

@@ -10,14 +10,21 @@ import (
 // Policy is the Section 4.1 scheduling policy shared by the clock-free
 // simulation (Simulate) and the live concurrent server (internal/server):
 // given the n queries batched during one T/2 window, serve them at the
-// largest slice rate r with n·t(r) ≤ T/2 (Equation 3), so that collecting
-// the next window and processing the current one together stay within the
-// latency bound T.
+// largest slice rate r with n·t(r) ≤ budget (Equation 3). The budget is the
+// full window T/2 when the pool is idle, or — through ChooseSlack and the
+// Backlog model — whatever slack remains of the batch's deadline once the
+// work already dispatched ahead of it is accounted for, so that delay cannot
+// silently compound across windows.
 //
 // SampleTime abstracts the per-sample processing time t(r). The simulation
 // uses the idealized FullSampleTime·r² curve; the live server substitutes
 // per-rate times measured by its calibrator, so the policy never drifts from
 // the hardware it actually runs on.
+//
+// Every feasibility question — Choose, ChooseSlack, Capacity — goes through
+// the single product-form comparison n·t(r) ≤ budget. The division forms
+// (t ≤ budget/n, ⌊budget/t⌋) round differently at exactly-full windows, which
+// used to let admission control and rate choice disagree by one query.
 type Policy struct {
 	// Rates are the deployable slice rates (ascending, ending at 1).
 	Rates slicing.RateList
@@ -46,11 +53,20 @@ func NewPolicy(rates slicing.RateList, latencySLO, fullSampleTime float64) Polic
 // overruns — the batch will miss the latency bound but quality degrades no
 // further than the lower bound the operator chose at training time.
 func (p Policy) Choose(n int) (rate float64, feasible bool) {
+	return p.ChooseSlack(n, p.Window)
+}
+
+// ChooseSlack is Choose against an arbitrary remaining budget instead of a
+// fresh window: the largest rate with n·t(r) ≤ slack. Backlog.Decide feeds
+// it each window's deadline slack — deadline minus now minus the estimated
+// work already in flight — so a window queued behind an overrun is served at
+// a deliberately lower rate (a recorded degradation) instead of optimistically
+// at the rate an empty pool could afford (a surprise SLO miss).
+func (p Policy) ChooseSlack(n int, slack float64) (rate float64, feasible bool) {
 	if n <= 0 {
 		return p.Rates.Max(), true
 	}
-	budget := p.Window / float64(n)
-	return p.Rates.LargestWithin(budget, p.SampleTime)
+	return p.Rates.LargestWithin(slack, func(r float64) float64 { return p.BatchTime(n, r) })
 }
 
 // BatchTime is the processing time of a batch of n at rate r.
@@ -62,9 +78,33 @@ func (p Policy) BatchTime(n int, r float64) float64 {
 // the admission-control bound at the lower rate: once more than
 // Capacity(Rates.Min()) queries are pending, no rate can save the batch.
 func (p Policy) Capacity(r float64) int {
+	return p.CapacityWithin(r, p.Window)
+}
+
+// CapacityWithin is the largest n with n·t(r) ≤ budget — Capacity against an
+// arbitrary remaining budget (admission control shrinks the budget by the
+// backlog ahead of the next window). The float division only seeds the
+// answer; the boundary itself is settled by the same product-form comparison
+// ChooseSlack uses, so a batch of exactly CapacityWithin(r, b) is always
+// feasible at r and one more query never is.
+func (p Policy) CapacityWithin(r float64, budget float64) int {
+	if budget <= 0 {
+		return 0
+	}
 	t := p.SampleTime(r)
 	if t <= 0 {
 		return math.MaxInt
 	}
-	return int(p.Window / t)
+	est := budget / t
+	if est >= float64(math.MaxInt) {
+		return math.MaxInt
+	}
+	n := int(est)
+	for float64(n+1)*t <= budget {
+		n++
+	}
+	for n > 0 && float64(n)*t > budget {
+		n--
+	}
+	return n
 }

@@ -1,6 +1,8 @@
 package serving
 
 import (
+	"math"
+	"math/rand"
 	"testing"
 
 	"modelslicing/internal/slicing"
@@ -40,25 +42,126 @@ func TestPolicyCapacityAndBatchTime(t *testing.T) {
 	}
 }
 
+func TestChooseSlackBudgetsAgainstRemainingSlack(t *testing.T) {
+	p := NewPolicy(slicing.NewRateList(0.25, 4), 2, 1) // window 1, t(r)=r²
+	for _, tc := range []struct {
+		n        int
+		slack    float64
+		want     float64
+		feasible bool
+	}{
+		{1, 1.0, 1.0, true},      // full slack: Equation 3 unchanged
+		{1, 0.75, 0.75, true},    // backlog ate a quarter window: degrade one step
+		{1, 0.3, 0.5, true},      // further backlog: degrade again
+		{1, 0.05, 0.25, false},   // even the lower bound overruns the slack
+		{1, -0.5, 0.25, false},   // deadline already blown: serve at the floor
+		{4, 1.0, 0.5, true},      // 4·0.25 = slack exactly
+		{16, 1.0, 0.25, true},    // lower-bound boundary
+		{16, 0.999, 0.25, false}, // one epsilon less: infeasible
+		{0, 0.0, 1.0, true},      // empty batch never degrades
+	} {
+		r, ok := p.ChooseSlack(tc.n, tc.slack)
+		if r != tc.want || ok != tc.feasible {
+			t.Fatalf("ChooseSlack(%d, %v) = %v, %v; want %v, %v",
+				tc.n, tc.slack, r, ok, tc.want, tc.feasible)
+		}
+	}
+	// Choose is ChooseSlack at the full window.
+	if r1, ok1 := p.Choose(7); true {
+		r2, ok2 := p.ChooseSlack(7, p.Window)
+		if r1 != r2 || ok1 != ok2 {
+			t.Fatalf("Choose(7)=%v,%v but ChooseSlack(7, Window)=%v,%v", r1, ok1, r2, ok2)
+		}
+	}
+}
+
+// TestCapacityAgreesWithChooseAtBoundary pins the reconciliation of the two
+// feasibility forms: ⌊Window/t⌋ (the old Capacity) and n·t ≤ Window (Choose)
+// can disagree by one query under float rounding, which made admission and
+// rate choice flip-flop at exactly-full windows. Both now run through the
+// same product-form comparison: a batch of exactly Capacity(r) must be
+// feasible at r, and one more query must not be.
+func TestCapacityAgreesWithChooseAtBoundary(t *testing.T) {
+	rates := slicing.NewRateList(0.25, 4)
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 5000; trial++ {
+		// Adversarial float pairs: windows deliberately set to near-integer
+		// multiples of the sample time, where the division form rounds
+		// unpredictably.
+		tFull := math.Exp(rng.Float64()*8 - 4) // t in [e⁻⁴, e⁴)
+		mult := float64(1+rng.Intn(50)) + float64(rng.Intn(3)-1)*1e-15
+		p := Policy{
+			Rates:      rates,
+			Window:     tFull * mult * (0.25 * 0.25), // near-integer multiples of t(r_min)
+			SampleTime: func(r float64) float64 { return tFull * r * r },
+		}
+		for _, r := range rates {
+			c := p.Capacity(r)
+			if c > 0 && p.BatchTime(c, r) > p.Window {
+				t.Fatalf("t=%v window=%v: Capacity(%v)=%d but BatchTime=%v > window",
+					tFull, p.Window, r, c, p.BatchTime(c, r))
+			}
+			if p.BatchTime(c+1, r) <= p.Window {
+				t.Fatalf("t=%v window=%v: Capacity(%v)=%d undercounts, %d still fits",
+					tFull, p.Window, r, c, c+1)
+			}
+		}
+		// The admission boundary and the rate decision agree: a pending
+		// queue of exactly Capacity(r_min) is served feasibly, one more
+		// query is infeasible — no flip-flop.
+		cMin := p.Capacity(rates.Min())
+		if cMin > 0 {
+			if _, ok := p.Choose(cMin); !ok {
+				t.Fatalf("window=%v: Choose rejects a batch of exactly Capacity(r_min)=%d", p.Window, cMin)
+			}
+		}
+		if _, ok := p.Choose(cMin + 1); ok {
+			t.Fatalf("window=%v: Choose accepts %d > Capacity(r_min)=%d", p.Window, cMin+1, cMin)
+		}
+	}
+}
+
+func TestCapacityWithinEdgeCases(t *testing.T) {
+	p := NewPolicy(slicing.NewRateList(0.25, 4), 2, 1)
+	if got := p.CapacityWithin(0.25, 0); got != 0 {
+		t.Fatalf("zero budget capacity %d, want 0", got)
+	}
+	if got := p.CapacityWithin(0.25, -1); got != 0 {
+		t.Fatalf("negative budget capacity %d, want 0", got)
+	}
+	free := Policy{Rates: p.Rates, Window: 1, SampleTime: func(float64) float64 { return 0 }}
+	if got := free.CapacityWithin(0.25, 1); got != math.MaxInt {
+		t.Fatalf("zero-cost capacity %d, want MaxInt", got)
+	}
+	tiny := Policy{Rates: p.Rates, Window: 1, SampleTime: func(float64) float64 { return 1e-300 }}
+	if got := tiny.CapacityWithin(0.25, 1); got != math.MaxInt {
+		t.Fatalf("overflow-scale capacity %d, want MaxInt saturation", got)
+	}
+}
+
 // TestSimulateAgreesWithPolicy pins the refactor: the simulation must make
-// exactly the decisions the shared Policy makes, window by window.
+// exactly the decisions the shared Policy + Backlog model makes, window by
+// window — including the cascade, where a window behind an overrun is
+// budgeted against its remaining slack rather than a fresh T/2.
 func TestSimulateAgreesWithPolicy(t *testing.T) {
 	cfg := Config{LatencySLO: 100, FullSampleTime: 1, Rates: slicing.NewRateList(0.25, 4)}
 	p := cfg.Policy()
-	arrivals := []int{0, 7, 50, 51, 199, 200, 640, 801, 3}
+	arrivals := []int{0, 7, 50, 51, 199, 200, 640, 801, 3, 900, 10, 0, 1}
 	stats := Simulate(cfg, arrivals)
+	var backlog Backlog
 	for i, n := range arrivals {
 		if n == 0 {
 			continue
 		}
-		wantRate, feasible := p.Choose(n)
+		want := backlog.Decide(p, n, float64(i)*p.Window+cfg.LatencySLO, float64(i+1)*p.Window)
 		tick := stats.Ticks[i]
-		if tick.Rate != wantRate || tick.Infeasible == feasible {
-			t.Fatalf("window %d (n=%d): sim chose %v/inf=%v, policy says %v/inf=%v",
-				i, n, tick.Rate, tick.Infeasible, wantRate, !feasible)
+		if tick.Rate != want.Rate || tick.Infeasible == want.Feasible || tick.Degraded != want.Degraded {
+			t.Fatalf("window %d (n=%d): sim chose %v/inf=%v/deg=%v, model says %v/inf=%v/deg=%v",
+				i, n, tick.Rate, tick.Infeasible, tick.Degraded, want.Rate, !want.Feasible, want.Degraded)
 		}
-		if tick.WorkTime != p.BatchTime(n, wantRate) {
-			t.Fatalf("window %d work time %v, policy says %v", i, tick.WorkTime, p.BatchTime(n, wantRate))
+		if tick.WorkTime != want.Work || tick.Slack != want.Slack || tick.Completion != want.Completion {
+			t.Fatalf("window %d work/slack/completion %v/%v/%v, model says %v/%v/%v",
+				i, tick.WorkTime, tick.Slack, tick.Completion, want.Work, want.Slack, want.Completion)
 		}
 	}
 }

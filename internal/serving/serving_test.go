@@ -92,6 +92,99 @@ func TestElasticAbsorbsVolatilityFixedDoesNot(t *testing.T) {
 	}
 }
 
+// TestSimulateBacklogCascade pins the deadline/backlog model: an overrun
+// window drags the next one's budget down (a recorded degradation, not a
+// surprise miss), and the system recovers to the full rate once the horizon
+// drains.
+func TestSimulateBacklogCascade(t *testing.T) {
+	cfg := testConfig() // window 50, t(r)=r²: capacity 800 at the lower bound
+	stats := Simulate(cfg, []int{900, 45, 45})
+
+	// Window 0 overruns even at r_min: 900·0.0625 = 56.25 > 50.
+	if !stats.Ticks[0].Infeasible || stats.Ticks[0].Rate != 0.25 {
+		t.Fatalf("overrun window: %+v", stats.Ticks[0])
+	}
+	// Window 1 inherits 6.25 of backlog: slack 43.75 < 45·t(1), so the rate
+	// degrades to 0.75 — which still meets the deadline (no violation).
+	w1 := stats.Ticks[1]
+	if w1.Rate != 0.75 || !w1.Degraded || w1.Infeasible {
+		t.Fatalf("cascaded window must degrade feasibly: %+v", w1)
+	}
+	if w1.Ahead != 6.25 || w1.Slack != 43.75 {
+		t.Fatalf("cascaded window slack accounting: ahead=%v slack=%v", w1.Ahead, w1.Slack)
+	}
+	// Window 2 opens after the horizon drained: full rate again.
+	w2 := stats.Ticks[2]
+	if w2.Rate != 1.0 || w2.Degraded || w2.Ahead != 0 {
+		t.Fatalf("drained window must recover to r=1: %+v", w2)
+	}
+	if stats.DegradedWindows != 1 {
+		t.Fatalf("degraded windows %d, want 1", stats.DegradedWindows)
+	}
+	if stats.SLOViolations != 900 {
+		t.Fatalf("violations %d, want exactly the overrun batch", stats.SLOViolations)
+	}
+}
+
+// TestUtilizationBoundedUnderOverload is the shared assertion for both
+// runners: work is conserved on one pool, so reported utilization must stay
+// in [0, 1] even when every window overruns — the fixed baseline used to
+// divide spilled work by the un-extended trace duration and report >1.
+func TestUtilizationBoundedUnderOverload(t *testing.T) {
+	cfg := testConfig()
+	overload := []int{2000, 2000, 2000} // 2.5× the lower-bound capacity, every window
+	for name, stats := range map[string]Stats{
+		"simulate":   Simulate(cfg, overload),
+		"fixed-full": FixedCapacityBaseline(cfg, 1.0, overload),
+		"fixed-base": FixedCapacityBaseline(cfg, 0.25, overload),
+	} {
+		if stats.Utilization <= 0 || stats.Utilization > 1 {
+			t.Fatalf("%s: utilization %v outside (0, 1] under overload", name, stats.Utilization)
+		}
+		if stats.SLOViolations == 0 {
+			t.Fatalf("%s: overload trace must violate the SLO", name)
+		}
+	}
+	// The spilled work extends the completion horizon past the trace.
+	fixed := FixedCapacityBaseline(cfg, 1.0, overload)
+	last := fixed.Ticks[len(fixed.Ticks)-1]
+	if last.Completion <= cfg.LatencySLO/2*float64(len(overload)) {
+		t.Fatalf("overrun work must extend the makespan: completion %v", last.Completion)
+	}
+}
+
+// TestFixedBaselineCountsCascadedViolations pins the baseline's backlog
+// consistency: a window within the model's nominal capacity, queued behind
+// an earlier overrun, completes past its deadline and must count its
+// misses — the same accounting Simulate and the live fixed arm use.
+func TestFixedBaselineCountsCascadedViolations(t *testing.T) {
+	cfg := testConfig() // window 50, t(1.0) = 1 → capacity 50 at full width
+	stats := FixedCapacityBaseline(cfg, 1.0, []int{100, 40})
+	// Window 0: 100 arrivals, 50 fit the fresh window → 50 violations and
+	// 100 time units of work against a 50-unit window.
+	if stats.Ticks[0].Infeasible != true || stats.Ticks[0].Slack != 50 {
+		t.Fatalf("overrun window: %+v", stats.Ticks[0])
+	}
+	// Window 1: 40 ≤ 50 nominal capacity, but the spilled 50 units of work
+	// consume its entire slack — every query misses, and the window is
+	// recorded as degraded (backlog, not size, sank it).
+	w1 := stats.Ticks[1]
+	if w1.Ahead != 50 || w1.Slack != 0 || !w1.Infeasible || !w1.Degraded {
+		t.Fatalf("cascaded fixed window: %+v", w1)
+	}
+	if stats.SLOViolations != 50+40 {
+		t.Fatalf("violations %d, want 90 (50 spilled + 40 cascaded)", stats.SLOViolations)
+	}
+	if stats.DegradedWindows != 1 {
+		t.Fatalf("degraded windows %d, want 1", stats.DegradedWindows)
+	}
+	// With a clear horizon the classic per-window accounting is unchanged.
+	clear := FixedCapacityBaseline(cfg, 1.0, []int{60})
+	if clear.SLOViolations != 10 {
+		t.Fatalf("clear-horizon violations %d, want n − capacity = 10", clear.SLOViolations)
+	}
+}
+
 func TestUtilizationBounded(t *testing.T) {
 	cfg := testConfig()
 	rng := rand.New(rand.NewSource(3))

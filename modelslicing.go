@@ -163,9 +163,13 @@ func BudgetRate(rates RateList, budgetMACs, fullMACs float64) float64 {
 // Live serving (Section 4.1). Policy is the Equation-3 scheduling decision
 // shared by the clock-free simulation and the concurrent server, so the two
 // paths cannot drift; Server batches real queries every T/2 and serves each
-// batch at the largest rate the policy admits under calibrated timings.
+// batch at the largest rate the policy admits — budgeted against the
+// window's remaining deadline slack under calibrated timings, so backlog
+// degrades rates visibly instead of cascading into silent SLO misses.
 type (
-	// Policy picks the largest slice rate serving n queries within T/2.
+	// Policy picks the largest slice rate serving n queries within the
+	// window's remaining budget (Choose for a fresh T/2, ChooseSlack for
+	// the backlog-aware remainder).
 	Policy = serving.Policy
 	// Server is the live SLO-aware batching inference server.
 	Server = server.Server
