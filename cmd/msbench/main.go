@@ -25,9 +25,11 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
 	"testing"
 	"time"
@@ -134,7 +136,14 @@ type inferencePoint struct {
 	NsPerSampleShared  float64 `json:"ns_per_sample_shared"`
 	NsPerSampleExtract float64 `json:"ns_per_sample_extract"`
 	AllocsOpShared     int64   `json:"allocs_per_op_shared"`
-	SampleTimeSeconds  float64 `json:"sample_time_seconds"` // serving calibration of t(r)
+	// P50/P95/P99 are tail percentiles of the shared path's per-sample time
+	// over individually timed passes (the mean hides scheduler jitter the
+	// serving SLO cares about). Additive fields: older BENCH_*.json baselines
+	// stay comparable — the -compare gate only diffs the means.
+	P50NsPerSample    float64 `json:"p50_ns_per_sample"`
+	P95NsPerSample    float64 `json:"p95_ns_per_sample"`
+	P99NsPerSample    float64 `json:"p99_ns_per_sample"`
+	SampleTimeSeconds float64 `json:"sample_time_seconds"` // serving calibration of t(r)
 	// PackCacheBytes is the shared model's resident weight-pack memory once
 	// this rate (and all rates before it in the list) has been served — the
 	// O(packs) cost of the elastic widths. Zero under -packed=false.
@@ -210,11 +219,15 @@ func collectBench(packed bool) benchReport {
 				arena.Reset()
 			}
 		})
+		p50, p95, p99 := inferPercentiles(shared, rate, x, arena, batch)
 		rep.Inference = append(rep.Inference, inferencePoint{
 			Rate:               rate,
 			NsPerSampleShared:  float64(rs.NsPerOp()) / batch,
 			NsPerSampleExtract: float64(re.NsPerOp()) / batch,
 			AllocsOpShared:     rs.AllocsPerOp(),
+			P50NsPerSample:     p50,
+			P95NsPerSample:     p95,
+			P99NsPerSample:     p99,
 			PackCacheBytes:     shared.PackCacheBytes(),
 		})
 	}
@@ -226,6 +239,27 @@ func collectBench(packed bool) benchReport {
 		rep.Inference[i].SampleTimeSeconds = sampleTime(rep.Inference[i].Rate)
 	}
 	return rep
+}
+
+// inferPercentiles times individual passes and returns nearest-rank
+// p50/p95/p99 of the per-sample time in nanoseconds. 96 runs put two runs
+// past the p99 rank — enough to make the tail a measurement, not an echo of
+// the maximum.
+func inferPercentiles(shared *slicing.Shared, rate float64, x *tensor.Tensor, arena *tensor.Arena, batch int) (p50, p95, p99 float64) {
+	const runs = 96
+	samples := make([]float64, runs)
+	for i := range samples {
+		start := time.Now()
+		shared.Infer(rate, x, arena)
+		samples[i] = float64(time.Since(start).Nanoseconds()) / float64(batch)
+		arena.Reset()
+	}
+	sort.Float64s(samples)
+	rank := func(q float64) float64 {
+		i := int(math.Ceil(q*runs)) - 1
+		return samples[min(max(i, 0), runs-1)]
+	}
+	return rank(0.50), rank(0.95), rank(0.99)
 }
 
 // writeBenchJSON persists a snapshot; path defaults to BENCH_<unix>.json in

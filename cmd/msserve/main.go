@@ -156,6 +156,20 @@ func runLive(slo time.Duration, windows int, peakRatio, burstProb, lb float64, g
 			a.name, s.PeakBacklogWindows, s.DegradedBatches, s.InfeasibleBatches)
 	}
 
+	// End-to-end latency tails from the tracer histograms: the elastic arm's
+	// case is precisely that its *tail* stays inside T while fixed-full drowns
+	// at the peak — means hide that.
+	fmt.Printf("\nlatency per arm (SLO %s): %10s %10s %10s %10s\n", slo, "p50", "p95", "p99", "mean")
+	for i, a := range arms {
+		l := results[i].Latency
+		fmt.Printf("  %-24s %10s %10s %10s %10s\n",
+			a.name, l.Quantile(0.50), l.Quantile(0.95), l.Quantile(0.99), l.Mean())
+	}
+	fmt.Println("\nelastic arm stage breakdown (p95): where the window's time went")
+	for _, sl := range results[0].StageLatency {
+		fmt.Printf("  %-10s %10s\n", sl.Stage, sl.Hist.Quantile(0.95))
+	}
+
 	elastic := results[0]
 	fmt.Println("\nper-rate traffic under the elastic policy (live):")
 	var rates []float64

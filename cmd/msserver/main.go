@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -45,6 +46,7 @@ func main() {
 	workers := flag.Int("workers", 0, "batch shards (0 = min(4, GOMAXPROCS))")
 	queueFactor := flag.Float64("queue-factor", 1, "admission bound as a multiple of the lower-bound window capacity")
 	fixedRate := flag.Float64("fixed-rate", 0, "pin serving to one rate (fixed-width baseline; 0 = elastic)")
+	traceSample := flag.Int("trace-sample", 16, "sample every k-th query's span into /debug/trace (negative disables the ring)")
 	seed := flag.Int64("seed", 1, "random seed")
 	flag.Parse()
 
@@ -92,14 +94,15 @@ func main() {
 	}
 
 	srv, err := server.New(server.Config{
-		Model:       net,
-		Rates:       rates,
-		InputShape:  inputShape,
-		SLO:         *slo,
-		Workers:     *workers,
-		QueueFactor: *queueFactor,
-		FixedRate:   *fixedRate,
-		AccuracyAt:  accuracyAt,
+		Model:            net,
+		Rates:            rates,
+		InputShape:       inputShape,
+		SLO:              *slo,
+		Workers:          *workers,
+		QueueFactor:      *queueFactor,
+		FixedRate:        *fixedRate,
+		AccuracyAt:       accuracyAt,
+		TraceSampleEvery: *traceSample,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -115,7 +118,18 @@ func main() {
 		}
 	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	// The engine's API plus the Go runtime profiler: srv.Handler owns the
+	// serving endpoints (/predict, /metrics, /debug/decisions, /debug/trace),
+	// and net/http/pprof mounts beside them so a live CPU or heap profile is
+	// one curl away — on the same port the engine counters already live on.
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	httpSrv := &http.Server{Addr: *addr, Handler: mux}
 	done := make(chan struct{})
 	go func() {
 		sig := make(chan os.Signal, 1)
@@ -130,6 +144,8 @@ func main() {
 	}()
 
 	fmt.Printf("serving %s on %s (SLO %s, window %s)\n", *model, *addr, *slo, *slo/2)
+	fmt.Printf("observability: /metrics (Prometheus), /debug/decisions (flight recorder), /debug/trace (Chrome trace, 1-in-%d queries), /debug/pprof/\n",
+		*traceSample)
 	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -1,0 +1,174 @@
+// Package obs is the serving observability layer: lock-light latency
+// histograms with log-spaced fixed buckets, a zero-alloc per-query span
+// tracer with a sampled Chrome trace_event sink, and a fixed-size flight
+// recorder for window scheduling decisions. It is a leaf package (stdlib
+// only) so both the clock-free simulation in internal/serving and the live
+// server in internal/server can write the same record types — lockstep tests
+// diff explanations, not just outcomes.
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram bucket layout: upper bounds 1µs·2^(i/histSubdiv) for
+// i = 0..histFinite-1 (about ±9% relative resolution per bucket, topping out
+// near 34 s), plus one overflow bucket. The layout is fixed at compile time
+// so Observe is a constant-time atomic increment — no locks, no allocation —
+// and any two histograms (live server, simulation, different processes) are
+// directly comparable bucket by bucket.
+const (
+	histSubdiv  = 4
+	histOctaves = 25
+	histFinite  = histOctaves*histSubdiv + 1
+	// expoStride thins the Prometheus exposition to octave bounds (1µs, 2µs,
+	// 4µs, ...) — cumulative counts lose nothing, the text just stays short.
+	expoStride = histSubdiv
+)
+
+// boundNs[i] is the inclusive upper bound of finite bucket i, in nanoseconds.
+var boundNs = func() [histFinite]int64 {
+	var b [histFinite]int64
+	for i := range b {
+		b[i] = int64(math.Ceil(1000 * math.Pow(2, float64(i)/histSubdiv)))
+	}
+	return b
+}()
+
+// BucketBounds returns the finite bucket upper bounds in seconds, smallest
+// first — the `le` values of the Prometheus exposition before thinning.
+func BucketBounds() []float64 {
+	out := make([]float64, histFinite)
+	for i, ns := range boundNs {
+		out[i] = float64(ns) / 1e9
+	}
+	return out
+}
+
+// bucketIdx maps a duration to its bucket: the smallest i with
+// ns ≤ boundNs[i], or histFinite for the overflow bucket. The float log only
+// seeds the answer; the boundary itself is settled by integer comparison, so
+// an observation exactly on a bound always lands in that bound's bucket.
+func bucketIdx(ns int64) int {
+	if ns <= boundNs[0] {
+		return 0
+	}
+	if ns > boundNs[histFinite-1] {
+		return histFinite
+	}
+	i := int(math.Log2(float64(ns)/1000) * histSubdiv)
+	if i < 0 {
+		i = 0
+	} else if i >= histFinite {
+		i = histFinite - 1
+	}
+	for i < histFinite-1 && ns > boundNs[i] {
+		i++
+	}
+	for i > 0 && ns <= boundNs[i-1] {
+		i--
+	}
+	return i
+}
+
+// Histogram is a fixed-bucket log-spaced latency histogram. Observe is
+// goroutine-safe, allocation-free and lock-free; Snapshot is the cold read
+// side. The zero value is ready to use.
+type Histogram struct {
+	count   atomic.Int64
+	sumNs   atomic.Int64
+	buckets [histFinite + 1]atomic.Int64
+}
+
+// Observe folds one latency into the histogram. Negative durations clamp to
+// zero (a settle stamped by a coarse clock can tie with its compute stamp).
+func (h *Histogram) Observe(d time.Duration) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	h.count.Add(1)
+	h.sumNs.Add(ns)
+	h.buckets[bucketIdx(ns)].Add(1)
+}
+
+// Snapshot copies the counters out for reporting. Concurrent Observes may
+// land between bucket reads; totals are eventually consistent, which is all
+// a monitoring read needs.
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{
+		Count:   h.count.Load(),
+		Sum:     time.Duration(h.sumNs.Load()),
+		Buckets: make([]int64, histFinite+1),
+	}
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// HistSnapshot is a point-in-time copy of a Histogram: per-bucket counts
+// (finite buckets first, overflow last), total count and summed latency.
+type HistSnapshot struct {
+	Count   int64
+	Sum     time.Duration
+	Buckets []int64
+}
+
+// Quantile returns the q-quantile (0 < q ≤ 1) as the upper bound of the
+// bucket holding that rank — a conservative estimate within one bucket
+// width (~19%) of the true value. Zero when the histogram is empty.
+func (s HistSnapshot) Quantile(q float64) time.Duration {
+	if s.Count <= 0 || len(s.Buckets) == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	cum := int64(0)
+	for i, n := range s.Buckets {
+		cum += n
+		if cum >= rank {
+			if i >= histFinite {
+				return time.Duration(boundNs[histFinite-1])
+			}
+			return time.Duration(boundNs[i])
+		}
+	}
+	return time.Duration(boundNs[histFinite-1])
+}
+
+// Mean returns the exact mean latency (the sum is tracked outside the
+// buckets). Zero when empty.
+func (s HistSnapshot) Mean() time.Duration {
+	if s.Count <= 0 {
+		return 0
+	}
+	return s.Sum / time.Duration(s.Count)
+}
+
+// CumulativeAt returns the number of observations ≤ the finite bucket bound
+// at index i (the cumulative count Prometheus `_bucket` series carry).
+func (s HistSnapshot) CumulativeAt(i int) int64 {
+	cum := int64(0)
+	for j := 0; j <= i && j < len(s.Buckets); j++ {
+		cum += s.Buckets[j]
+	}
+	return cum
+}
+
+// ExpositionBounds returns the thinned bound indices used for Prometheus
+// text exposition: every octave bound plus the top finite bucket.
+func ExpositionBounds() []int {
+	var idx []int
+	for i := 0; i < histFinite; i += expoStride {
+		idx = append(idx, i)
+	}
+	if idx[len(idx)-1] != histFinite-1 {
+		idx = append(idx, histFinite-1)
+	}
+	return idx
+}

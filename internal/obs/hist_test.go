@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// Every bound must land in its own bucket (bounds are inclusive upper
+// bounds), and one nanosecond past a bound must land in the next — the
+// float-log seed never gets to move a boundary.
+func TestBucketIdxBoundaries(t *testing.T) {
+	for i := 0; i < histFinite; i++ {
+		if got := bucketIdx(boundNs[i]); got != i {
+			t.Errorf("bucketIdx(boundNs[%d]=%d) = %d, want %d", i, boundNs[i], got, i)
+		}
+		want := i + 1 // next finite bucket, or the overflow bucket at the top
+		if got := bucketIdx(boundNs[i] + 1); got != want {
+			t.Errorf("bucketIdx(boundNs[%d]+1) = %d, want %d", i, got, want)
+		}
+	}
+	if got := bucketIdx(0); got != 0 {
+		t.Errorf("bucketIdx(0) = %d, want 0", got)
+	}
+	if got := bucketIdx(1); got != 0 {
+		t.Errorf("bucketIdx(1) = %d, want 0", got)
+	}
+}
+
+// Exhaustively check monotone bucket assignment against the definition
+// (smallest i with ns ≤ boundNs[i]) on a log sweep of the full range.
+func TestBucketIdxMatchesDefinition(t *testing.T) {
+	ref := func(ns int64) int {
+		for i := 0; i < histFinite; i++ {
+			if ns <= boundNs[i] {
+				return i
+			}
+		}
+		return histFinite
+	}
+	for f := 1.0; f < 2e14; f *= 1.01 {
+		ns := int64(f)
+		if got, want := bucketIdx(ns), ref(ns); got != want {
+			t.Fatalf("bucketIdx(%d) = %d, want %d", ns, got, want)
+		}
+	}
+}
+
+func TestHistogramQuantileAndMean(t *testing.T) {
+	var h Histogram
+	// 100 observations at 1ms, 10 at 100ms: p50 near 1ms, p99 near 100ms.
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(100 * time.Millisecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 110 {
+		t.Fatalf("Count = %d, want 110", s.Count)
+	}
+	if p50 := s.Quantile(0.5); p50 < time.Millisecond || p50 > 2*time.Millisecond {
+		t.Errorf("p50 = %v, want ~1ms", p50)
+	}
+	if p99 := s.Quantile(0.99); p99 < 100*time.Millisecond || p99 > 200*time.Millisecond {
+		t.Errorf("p99 = %v, want ~100ms", p99)
+	}
+	wantMean := (100*time.Millisecond.Nanoseconds() + 10*(100*time.Millisecond).Nanoseconds()) / 110
+	if m := s.Mean(); m != time.Duration(wantMean) {
+		t.Errorf("Mean = %v, want %v", m, time.Duration(wantMean))
+	}
+	// Quantile is conservative: the reported bound is ≥ the true value and
+	// within one bucket width (2^(1/histSubdiv)).
+	if p50 := s.Quantile(0.5); float64(p50) > float64(time.Millisecond)*math.Pow(2, 1.0/histSubdiv)+1 {
+		t.Errorf("p50 = %v overshoots the bucket-width bound", p50)
+	}
+}
+
+func TestHistogramOverflowAndClamp(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Hour) // way past the top finite bound
+	h.Observe(-time.Second)
+	s := h.Snapshot()
+	if s.Buckets[histFinite] != 1 {
+		t.Errorf("overflow bucket = %d, want 1", s.Buckets[histFinite])
+	}
+	if s.Buckets[0] != 1 {
+		t.Errorf("negative observation did not clamp to bucket 0: %d", s.Buckets[0])
+	}
+	// Overflow quantile saturates at the top finite bound, never invents a
+	// value past the layout.
+	if q := s.Quantile(1.0); q != time.Duration(boundNs[histFinite-1]) {
+		t.Errorf("overflow quantile = %v, want top bound %v", q, time.Duration(boundNs[histFinite-1]))
+	}
+}
+
+func TestExpositionBounds(t *testing.T) {
+	idx := ExpositionBounds()
+	if idx[0] != 0 {
+		t.Errorf("first exposition bound index = %d, want 0", idx[0])
+	}
+	if idx[len(idx)-1] != histFinite-1 {
+		t.Errorf("last exposition bound index = %d, want %d", idx[len(idx)-1], histFinite-1)
+	}
+	for i := 1; i < len(idx); i++ {
+		if idx[i] <= idx[i-1] {
+			t.Fatalf("exposition indices not strictly increasing at %d: %v", i, idx)
+		}
+	}
+	bounds := BucketBounds()
+	if len(bounds) != histFinite {
+		t.Fatalf("BucketBounds length = %d, want %d", len(bounds), histFinite)
+	}
+	if bounds[0] != 1e-6 {
+		t.Errorf("first bound = %g s, want 1µs", bounds[0])
+	}
+}
+
+// The Observe path must stay allocation-free — it runs once per query per
+// stage on the serving hot path. Guarded in CI by the short-mode ZeroAlloc
+// run.
+func TestHistogramObserveZeroAlloc(t *testing.T) {
+	var h Histogram
+	allocs := testing.AllocsPerRun(1000, func() {
+		h.Observe(3 * time.Millisecond)
+	})
+	if allocs != 0 {
+		t.Fatalf("Histogram.Observe allocates %.1f per op, want 0", allocs)
+	}
+}

@@ -1,0 +1,132 @@
+package obs
+
+import "sync"
+
+// DecisionRecord is one window's scheduling decision with every input that
+// produced it — enough to reconstruct *why* a window was served the way it
+// was, after the fact. The clock-free simulation and the live server write
+// the identical type (internal/serving builds it from a serving.Decision),
+// so lockstep tests can diff explanations field by field. All fields are
+// comparable; two records are the same decision iff they are ==.
+type DecisionRecord struct {
+	// Window is the scheduling-window sequence number on the T/2 axis
+	// (empty windows consume a number too, so live and simulated indices
+	// line up).
+	Window int64 `json:"window"`
+	// Time is the window's close time on the policy axis (seconds since
+	// start).
+	Time float64 `json:"time"`
+	// Arrivals is the batch size the decision was taken for.
+	Arrivals int `json:"arrivals"`
+	// Rate is the slice rate chosen; MinRate and MaxRate bound the feasible
+	// set the policy chose from.
+	Rate    float64 `json:"rate"`
+	MinRate float64 `json:"min_rate"`
+	MaxRate float64 `json:"max_rate"`
+	// Feasible and Degraded mirror the serving.Decision flags.
+	Feasible bool `json:"feasible"`
+	Degraded bool `json:"degraded"`
+	// Slack is the deadline budget the rate choice ran against
+	// (deadline − now − Ahead); Ahead is the estimated in-flight work at
+	// decision time.
+	Slack float64 `json:"slack"`
+	Ahead float64 `json:"ahead"`
+	// Work, Start and Completion bound the batch's estimated execution on
+	// the work-conserving timeline.
+	Work       float64 `json:"work"`
+	Start      float64 `json:"start"`
+	Completion float64 `json:"completion"`
+	// Depth is the estimated number of windows in flight including this
+	// one: recorded windows whose estimated completion lies past this
+	// window's close. Model-derived (not an execution observation), so the
+	// simulator and the live server agree on it deterministically.
+	Depth int `json:"depth"`
+	// Reason explains the outcome: "ok", "backlog-degraded" (backlog cost
+	// rate), "backlog-infeasible" (backlog cost feasibility), or "overrun"
+	// (the batch alone exceeds its budget at every rate).
+	Reason string `json:"reason"`
+}
+
+// Recorder is a fixed-size ring of the last N decision records — the
+// flight recorder consulted when a window degraded and nobody was watching.
+// Record is called once per non-empty window (never per query), so a plain
+// mutex is plenty; it is safe for concurrent writers and readers.
+type Recorder struct {
+	mu    sync.Mutex
+	ring  []DecisionRecord
+	next  int
+	fill  int
+	total int64
+}
+
+// NewRecorder builds a recorder keeping the last n decisions (default 256
+// when n ≤ 0).
+func NewRecorder(n int) *Recorder {
+	if n <= 0 {
+		n = 256
+	}
+	return &Recorder{ring: make([]DecisionRecord, n)}
+}
+
+// Record stores one decision, filling in Depth from the ring (one plus the
+// recorded windows whose estimated completion outlasts this window's close),
+// and returns the stored record. Depth is computed from the same ring on
+// every writer, so any two recorders of equal size fed the same decisions
+// produce identical records.
+func (r *Recorder) Record(rec DecisionRecord) DecisionRecord {
+	r.mu.Lock()
+	depth := 1
+	for i := 0; i < r.fill; i++ {
+		if r.ring[i].Completion > rec.Time {
+			depth++
+		}
+	}
+	rec.Depth = depth
+	r.ring[r.next] = rec
+	r.next = (r.next + 1) % len(r.ring)
+	if r.fill < len(r.ring) {
+		r.fill++
+	}
+	r.total++
+	r.mu.Unlock()
+	return rec
+}
+
+// Total returns the number of decisions ever recorded (including ones the
+// ring has since evicted).
+func (r *Recorder) Total() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Snapshot returns the retained records, oldest first.
+func (r *Recorder) Snapshot() []DecisionRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.copyLast(r.fill)
+}
+
+// Last returns the most recent min(n, retained) records, oldest first.
+func (r *Recorder) Last(n int) []DecisionRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n > r.fill {
+		n = r.fill
+	}
+	return r.copyLast(n)
+}
+
+// copyLast copies the newest n records in chronological order. Callers hold
+// r.mu.
+func (r *Recorder) copyLast(n int) []DecisionRecord {
+	out := make([]DecisionRecord, 0, n)
+	start := r.next - n
+	if start < 0 {
+		start += len(r.ring)
+	}
+	for i := 0; i < n; i++ {
+		out = append(out, r.ring[(start+i)%len(r.ring)])
+	}
+	return out
+}

@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func rec(window int64, closeT, completion float64) DecisionRecord {
+	return DecisionRecord{
+		Window:     window,
+		Time:       closeT,
+		Completion: completion,
+		Reason:     "ok",
+	}
+}
+
+func TestRecorderWraparound(t *testing.T) {
+	r := NewRecorder(4)
+	for i := int64(0); i < 10; i++ {
+		r.Record(rec(i, float64(i), float64(i)))
+	}
+	if got := r.Total(); got != 10 {
+		t.Fatalf("Total = %d, want 10", got)
+	}
+	snap := r.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("Snapshot keeps %d records, want ring size 4", len(snap))
+	}
+	for i, rc := range snap {
+		if want := int64(6 + i); rc.Window != want {
+			t.Errorf("snap[%d].Window = %d, want %d (newest four, oldest first)", i, rc.Window, want)
+		}
+	}
+	last := r.Last(2)
+	if len(last) != 2 || last[0].Window != 8 || last[1].Window != 9 {
+		t.Errorf("Last(2) = %+v, want windows 8,9", last)
+	}
+	if got := r.Last(100); len(got) != 4 {
+		t.Errorf("Last(100) returns %d records, want the 4 retained", len(got))
+	}
+}
+
+// Depth is derived from the ring (windows whose estimated completion
+// outlasts this close), so two recorders of equal size fed the same
+// decisions agree exactly — the property the lockstep test leans on.
+func TestRecorderDepthDeterministic(t *testing.T) {
+	a, b := NewRecorder(8), NewRecorder(8)
+	// Window closes at 1,2,3..., work runs long: completions at close+2.5,
+	// so each window sees the previous two still in flight.
+	var fromA []DecisionRecord
+	for i := int64(0); i < 6; i++ {
+		closeT := float64(i + 1)
+		fromA = append(fromA, a.Record(rec(i, closeT, closeT+2.5)))
+		b.Record(rec(i, closeT, closeT+2.5))
+	}
+	wantDepth := []int{1, 2, 3, 3, 3, 3}
+	for i, rc := range fromA {
+		if rc.Depth != wantDepth[i] {
+			t.Errorf("window %d Depth = %d, want %d", i, rc.Depth, wantDepth[i])
+		}
+	}
+	snapA, snapB := a.Snapshot(), b.Snapshot()
+	for i := range snapA {
+		if snapA[i] != snapB[i] {
+			t.Errorf("recorders diverge at %d: %+v vs %+v", i, snapA[i], snapB[i])
+		}
+	}
+}
+
+func TestRecorderEmptyAndDefaults(t *testing.T) {
+	r := NewRecorder(0)
+	if got := len(r.Snapshot()); got != 0 {
+		t.Errorf("empty Snapshot returned %d records", got)
+	}
+	if got := len(r.Last(5)); got != 0 {
+		t.Errorf("empty Last(5) returned %d records", got)
+	}
+	r.Record(rec(0, 1, 1))
+	if got := len(r.Snapshot()); got != 1 {
+		t.Errorf("Snapshot after one record = %d entries", got)
+	}
+}
+
+// Concurrent writers and readers must be safe (run under -race in CI). The
+// live server records from the ticker goroutine while HTTP handlers snapshot.
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder(16)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Record(rec(int64(g*200+i), float64(i), float64(i)+1.5))
+			}
+		}(g)
+	}
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				_ = r.Snapshot()
+				_ = r.Last(3)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Total(); got != 800 {
+		t.Fatalf("Total = %d, want 800", got)
+	}
+	if got := len(r.Snapshot()); got != 16 {
+		t.Fatalf("Snapshot keeps %d, want ring size 16", got)
+	}
+}

@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// stamps builds a plausible five-point span: enqueue at off, window close
+// +5ms, compute start +1ms, compute +20ms, settle +0.5ms.
+func stamps(base time.Time, off time.Duration) (enq, cls, start, end, settle time.Time) {
+	enq = base.Add(off)
+	cls = enq.Add(5 * time.Millisecond)
+	start = cls.Add(1 * time.Millisecond)
+	end = start.Add(20 * time.Millisecond)
+	settle = end.Add(500 * time.Microsecond)
+	return
+}
+
+func TestTracerStageHistograms(t *testing.T) {
+	base := time.Unix(0, 0)
+	tr := NewTracer([]float64{0.5, 1.0}, base, 1, 8)
+	for i := 0; i < 10; i++ {
+		enq, cls, start, end, settle := stamps(base, time.Duration(i)*time.Second)
+		tr.Observe(1.0, int64(i), enq, cls, start, end, settle)
+	}
+	if got := tr.Queries(); got != 10 {
+		t.Fatalf("Queries = %d, want 10", got)
+	}
+	for s := 0; s < NumStages; s++ {
+		if got := tr.Stage(s).Count; got != 10 {
+			t.Errorf("stage %q count = %d, want 10", StageNames[s], got)
+		}
+	}
+	total := tr.Total()
+	if total.Count != 10 {
+		t.Fatalf("total count = %d", total.Count)
+	}
+	wantSpan := 26*time.Millisecond + 500*time.Microsecond
+	if m := total.Mean(); m != wantSpan {
+		t.Errorf("total mean = %v, want %v", m, wantSpan)
+	}
+	// Per-rate: all traffic went to rate 1.0.
+	if s, ok := tr.Rate(1.0); !ok || s.Count != 10 {
+		t.Errorf("Rate(1.0) = count %d ok=%v, want 10 true", s.Count, ok)
+	}
+	if s, ok := tr.Rate(0.5); !ok || s.Count != 0 {
+		t.Errorf("Rate(0.5) = count %d ok=%v, want 0 true", s.Count, ok)
+	}
+	if _, ok := tr.Rate(0.77); ok {
+		t.Error("Rate(0.77) reported ok for an unconfigured rate")
+	}
+}
+
+func TestTracerRingWraparound(t *testing.T) {
+	base := time.Unix(0, 0)
+	tr := NewTracer([]float64{1.0}, base, 1, 4)
+	for i := 0; i < 10; i++ {
+		enq, cls, start, end, settle := stamps(base, time.Duration(i)*time.Second)
+		tr.Observe(1.0, int64(i), enq, cls, start, end, settle)
+	}
+	spans := tr.SampledSpans()
+	if len(spans) != 4 {
+		t.Fatalf("SampledSpans keeps %d, want ring size 4", len(spans))
+	}
+	for i, e := range spans {
+		if want := uint64(6 + i); e.Seq != want {
+			t.Errorf("spans[%d].Seq = %d, want %d (newest four, oldest first)", i, e.Seq, want)
+		}
+	}
+}
+
+func TestTracerSamplingAndDisable(t *testing.T) {
+	base := time.Unix(0, 0)
+	tr := NewTracer([]float64{1.0}, base, 4, 16)
+	for i := 0; i < 16; i++ {
+		enq, cls, start, end, settle := stamps(base, time.Duration(i)*time.Second)
+		tr.Observe(1.0, int64(i), enq, cls, start, end, settle)
+	}
+	if got := len(tr.SampledSpans()); got != 4 {
+		t.Errorf("sampleEvery=4 kept %d of 16 spans, want 4", got)
+	}
+	off := NewTracer([]float64{1.0}, base, 0, 16)
+	enq, cls, start, end, settle := stamps(base, 0)
+	off.Observe(1.0, 0, enq, cls, start, end, settle)
+	if got := len(off.SampledSpans()); got != 0 {
+		t.Errorf("sampleEvery=0 recorded %d spans, want ring disabled", got)
+	}
+	if off.Total().Count != 1 {
+		t.Error("disabling the ring must not disable the histograms")
+	}
+}
+
+func TestWriteTraceEventsValidJSON(t *testing.T) {
+	base := time.Unix(0, 0)
+	tr := NewTracer([]float64{1.0}, base, 1, 8)
+	for i := 0; i < 3; i++ {
+		enq, cls, start, end, settle := stamps(base, time.Duration(i)*time.Second)
+		tr.Observe(1.0, int64(i), enq, cls, start, end, settle)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteTraceEvents(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []struct {
+		Name string  `json:"name"`
+		Ph   string  `json:"ph"`
+		Pid  int     `json:"pid"`
+		Tid  uint64  `json:"tid"`
+		Ts   float64 `json:"ts"`
+		Dur  float64 `json:"dur"`
+		Args struct {
+			Window int64   `json:"window"`
+			Rate   float64 `json:"rate"`
+		} `json:"args"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(events) != 3*NumStages {
+		t.Fatalf("got %d events, want %d (one per stage per span)", len(events), 3*NumStages)
+	}
+	for _, e := range events {
+		if e.Ph != "X" {
+			t.Errorf("event %q phase = %q, want complete event X", e.Name, e.Ph)
+		}
+		if e.Dur < 0 {
+			t.Errorf("event %q has negative duration %f", e.Name, e.Dur)
+		}
+	}
+	// First span's queue stage: 5ms starting at ts 0.
+	if events[0].Name != "queue" || events[0].Ts != 0 || events[0].Dur != 5000 {
+		t.Errorf("first event = %+v, want queue ts=0 dur=5000µs", events[0])
+	}
+}
+
+// The whole Observe path — four stage histograms, total, per-rate, plus the
+// sampled ring write — must be allocation-free, even at sampleEvery=1 where
+// every query takes the ring mutex. Guarded in CI by the short-mode
+// ZeroAlloc run.
+func TestTracerObserveZeroAlloc(t *testing.T) {
+	base := time.Unix(0, 0)
+	tr := NewTracer([]float64{0.25, 0.5, 1.0}, base, 1, 64)
+	enq, cls, start, end, settle := stamps(base, 0)
+	allocs := testing.AllocsPerRun(1000, func() {
+		tr.Observe(1.0, 7, enq, cls, start, end, settle)
+	})
+	if allocs != 0 {
+		t.Fatalf("Tracer.Observe allocates %.1f per op, want 0", allocs)
+	}
+}

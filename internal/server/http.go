@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
+	"time"
 
 	"modelslicing/internal/tensor"
 )
@@ -17,25 +19,46 @@ type PredictRequest struct {
 
 // PredictResponse is the JSON answer: the model output (e.g. class logits),
 // the winning class, the slice rate the batch was served at, and the
-// measured latency.
+// measured latency. Stages carries the per-stage latency breakdown when the
+// request asked for it with ?debug=1.
 type PredictResponse struct {
-	Output    []float64 `json:"output"`
-	ArgMax    int       `json:"argmax"`
-	Rate      float64   `json:"rate"`
-	LatencyMs float64   `json:"latency_ms"`
-	SLOMiss   bool      `json:"slo_miss"`
+	Output    []float64      `json:"output"`
+	ArgMax    int            `json:"argmax"`
+	Rate      float64        `json:"rate"`
+	LatencyMs float64        `json:"latency_ms"`
+	SLOMiss   bool           `json:"slo_miss"`
+	Stages    *PredictStages `json:"stages,omitempty"`
+}
+
+// PredictStages is the ?debug=1 stage breakdown of a query's latency:
+// queue wait (batch formation), dispatch wait (scheduler shard queue),
+// compute, and settle. The four sum to latency_ms.
+type PredictStages struct {
+	QueuedMs   float64 `json:"queued_ms"`
+	DispatchMs float64 `json:"dispatch_ms"`
+	ComputeMs  float64 `json:"compute_ms"`
+	SettleMs   float64 `json:"settle_ms"`
 }
 
 // Handler returns the server's HTTP API:
 //
-//	POST /predict  — submit one sample, blocks until its window is served
-//	GET  /metrics  — Prometheus text exposition of the live counters
-//	GET  /healthz  — liveness (503 once shutdown has begun)
+//	POST /predict          — submit one sample, blocks until its window is
+//	                         served; ?debug=1 adds the stage breakdown
+//	GET  /metrics          — Prometheus text exposition of the live counters
+//	                         and latency histograms
+//	GET  /healthz          — liveness (503 once shutdown has begun)
+//	GET  /debug/decisions  — the window-decision flight recorder (last N
+//	                         scheduling decisions with inputs and reasons);
+//	                         ?n=K limits to the newest K
+//	GET  /debug/trace      — sampled query spans as Chrome trace_event JSON
+//	                         (load in chrome://tracing or Perfetto)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/predict", s.handlePredict)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/debug/decisions", s.handleDecisions)
+	mux.HandleFunc("/debug/trace", s.handleTrace)
 	return mux
 }
 
@@ -65,8 +88,13 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	ch, err := s.Submit(x)
 	switch {
 	case errors.Is(err, ErrOverloaded):
+		// Shed with the evidence attached: the flight recorder's most
+		// recent window decisions explain what ate the admission budget.
 		w.Header().Set("Retry-After", "1")
-		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		writeJSONStatus(w, http.StatusServiceUnavailable, map[string]any{
+			"error":            err.Error(),
+			"recent_decisions": s.recorder.Last(4),
+		})
 		return
 	case errors.Is(err, ErrStopped):
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
@@ -77,13 +105,23 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 	select {
 	case res := <-ch:
-		writeJSON(w, PredictResponse{
+		resp := PredictResponse{
 			Output:    res.Output.Data,
 			ArgMax:    res.Output.ArgMax(),
 			Rate:      res.Rate,
 			LatencyMs: float64(res.Latency.Microseconds()) / 1e3,
 			SLOMiss:   res.SLOMiss,
-		})
+		}
+		if r.URL.Query().Get("debug") == "1" {
+			ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1e3 }
+			resp.Stages = &PredictStages{
+				QueuedMs:   ms(res.Queued),
+				DispatchMs: ms(res.Dispatch),
+				ComputeMs:  ms(res.Compute),
+				SettleMs:   ms(res.Settle),
+			}
+		}
+		writeJSON(w, resp)
 	case <-r.Context().Done():
 		// Client gave up; the result channel is buffered so the
 		// dispatcher is never blocked by the abandonment.
@@ -94,6 +132,28 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_, _ = w.Write([]byte(s.Stats().prometheus()))
+}
+
+// handleDecisions dumps the window-decision flight recorder, oldest first.
+// ?n=K restricts the dump to the newest K decisions.
+func (s *Server) handleDecisions(w http.ResponseWriter, r *http.Request) {
+	recs := s.recorder.Snapshot()
+	if v := r.URL.Query().Get("n"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n >= 0 {
+			recs = s.recorder.Last(n)
+		}
+	}
+	writeJSON(w, map[string]any{
+		"total_recorded": s.recorder.Total(),
+		"decisions":      recs,
+	})
+}
+
+// handleTrace streams the sampled query spans as a Chrome trace_event JSON
+// array.
+func (s *Server) handleTrace(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = s.tracer.WriteTraceEvents(w)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -109,5 +169,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeJSONStatus(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(v)
 }

@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"modelslicing/internal/obs"
 	"modelslicing/internal/serving"
 )
 
@@ -126,6 +128,32 @@ type Stats struct {
 	// startup calibration), not attributable to one server instance.
 	GemmFanouts       int64
 	GemmFanoutWorkers int64
+	// Windows is the number of T/2 scheduling windows closed so far
+	// (empty windows included — every tick consumes one).
+	Windows int64
+	// PackedEngine reports whether the packed-weight GEMM path is active.
+	PackedEngine bool
+	// ArenaBytes is the summed high-water activation-arena footprint across
+	// the worker pool.
+	ArenaBytes int64
+	// Latency is the all-queries submission-to-reply latency histogram;
+	// StageLatency breaks it down per pipeline stage and RateLatency per
+	// served slice rate (rates that served no queries are omitted).
+	Latency      obs.HistSnapshot
+	StageLatency []StageLatency
+	RateLatency  []RateLatency
+}
+
+// StageLatency is one pipeline stage's latency histogram snapshot.
+type StageLatency struct {
+	Stage string
+	Hist  obs.HistSnapshot
+}
+
+// RateLatency is one slice rate's total-latency histogram snapshot.
+type RateLatency struct {
+	Rate float64
+	Hist obs.HistSnapshot
 }
 
 // snapshot assembles Stats; elapsed is clock time since the server started.
@@ -185,6 +213,13 @@ func (s Stats) prometheus() string {
 	gauge("msserver_pack_cache_bytes", "Resident per-width weight-pack memory for the packed GEMM path.", float64(s.PackCacheBytes))
 	counter("msserver_gemm_fanouts_total", "Process-wide GEMM products split across goroutines (all engines in this process, calibration included).", s.GemmFanouts)
 	counter("msserver_gemm_fanout_workers_total", "Process-wide worker goroutines spawned by GEMM fan-outs.", s.GemmFanoutWorkers)
+	counter("msserver_windows_total", "T/2 scheduling windows closed (empty windows included).", s.Windows)
+	packed := 0.0
+	if s.PackedEngine {
+		packed = 1
+	}
+	gauge("msserver_packed_engine", "1 when the packed-weight GEMM path is active, 0 when pinned unpacked.", packed)
+	gauge("msserver_arena_bytes", "Summed high-water activation-arena footprint across the worker pool.", float64(s.ArenaBytes))
 
 	rates := make([]float64, 0, len(s.RateHist))
 	for r := range s.RateHist {
@@ -206,5 +241,62 @@ func (s Stats) prometheus() string {
 			b = append(b, fmt.Sprintf("msserver_sample_time_seconds{rate=%q} %g\n", fmt.Sprintf("%g", r), s.SampleTimes[r])...)
 		}
 	}
+
+	b = promHistogram(b, "msserver_query_latency_seconds",
+		"Submission-to-reply latency of answered queries.",
+		[]labeledHist{{"", s.Latency}})
+	stages := make([]labeledHist, 0, len(s.StageLatency))
+	for _, sl := range s.StageLatency {
+		stages = append(stages, labeledHist{fmt.Sprintf("stage=%q", sl.Stage), sl.Hist})
+	}
+	b = promHistogram(b, "msserver_stage_latency_seconds",
+		"Per-stage query latency: queue (batch formation), dispatch (shard-queue wait), compute, settle.",
+		stages)
+	perRate := make([]labeledHist, 0, len(s.RateLatency))
+	for _, rl := range s.RateLatency {
+		perRate = append(perRate, labeledHist{fmt.Sprintf("rate=%q", fmt.Sprintf("%g", rl.Rate)), rl.Hist})
+	}
+	b = promHistogram(b, "msserver_rate_latency_seconds",
+		"Submission-to-reply latency per served slice rate.",
+		perRate)
 	return string(b)
+}
+
+// labeledHist pairs one histogram snapshot with its label pair text (empty
+// for an unlabeled series).
+type labeledHist struct {
+	labels string
+	hist   obs.HistSnapshot
+}
+
+// promHistogram renders one Prometheus histogram family: cumulative
+// _bucket series at the thinned (octave) bound set plus +Inf, then _sum and
+// _count, for each labeled series. An empty series list emits nothing.
+func promHistogram(b []byte, name, help string, series []labeledHist) []byte {
+	if len(series) == 0 {
+		return b
+	}
+	b = append(b, fmt.Sprintf("# HELP %s %s\n# TYPE %s histogram\n", name, help, name)...)
+	bounds := obs.BucketBounds()
+	idxs := obs.ExpositionBounds()
+	withLe := func(labels, le string) string {
+		if labels == "" {
+			return fmt.Sprintf(`{le=%q}`, le)
+		}
+		return fmt.Sprintf(`{%s,le=%q}`, labels, le)
+	}
+	for _, sh := range series {
+		for _, i := range idxs {
+			le := strconv.FormatFloat(bounds[i], 'g', -1, 64)
+			b = append(b, fmt.Sprintf("%s_bucket%s %d\n", name, withLe(sh.labels, le), sh.hist.CumulativeAt(i))...)
+		}
+		b = append(b, fmt.Sprintf("%s_bucket%s %d\n", name, withLe(sh.labels, "+Inf"), sh.hist.Count)...)
+		suffix := ""
+		if sh.labels != "" {
+			suffix = "{" + sh.labels + "}"
+		}
+		b = append(b, fmt.Sprintf("%s_sum%s %g\n", name, suffix, sh.hist.Sum.Seconds())...)
+		b = append(b, fmt.Sprintf("%s_count%s %d\n", name, suffix, sh.hist.Count)...)
+	}
+	return b
 }

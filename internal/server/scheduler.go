@@ -131,7 +131,14 @@ func (d *scheduler) run(t *task, wk *worker) {
 	s := d.srv
 	start := s.clock.Now()
 	wk.run(t.shard, t.job.decision.Rate, s.cfg.InputShape)
-	t.job.workerNanos.Add(int64(s.clock.Now().Sub(start)))
+	end := s.clock.Now()
+	t.job.workerNanos.Add(int64(end.Sub(start)))
+	// Span stamps for the shard's queries: written before the remaining
+	// counter's atomic decrement below, which is what publishes the shard to
+	// the settling goroutine — same ordering q.result already relies on.
+	for _, q := range t.shard {
+		q.computeStart, q.computeEnd = start, end
+	}
 
 	last := t.job.remaining.Add(-1) == 0
 	if last {

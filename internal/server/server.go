@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"modelslicing/internal/nn"
+	"modelslicing/internal/obs"
 	"modelslicing/internal/serving"
 	"modelslicing/internal/slicing"
 	"modelslicing/internal/tensor"
@@ -102,6 +103,17 @@ type Config struct {
 	// CalibrationBatch is the batch size used to measure t(r) at startup
 	// (default 32); ignored when SampleTime is set.
 	CalibrationBatch int
+	// DecisionLog is the window-decision flight recorder's ring size: the
+	// last DecisionLog scheduling decisions stay reconstructible via
+	// /debug/decisions. Default 256.
+	DecisionLog int
+	// TraceSampleEvery samples every k-th query's full span into the trace
+	// ring dumped by /debug/trace. 0 means the default of 16; negative
+	// disables the ring (the per-stage histograms stay on — they are
+	// lock-free and allocation-free regardless).
+	TraceSampleEvery int
+	// TraceLog is the trace ring size (sampled spans retained). Default 256.
+	TraceLog int
 }
 
 // Result is the answer to one query.
@@ -115,14 +127,27 @@ type Result struct {
 	Latency time.Duration
 	// SLOMiss reports whether Latency exceeded the configured SLO.
 	SLOMiss bool
+	// Stage breakdown of Latency (Queued+Dispatch+Compute+Settle == Latency):
+	// Queued is submission → window close (waiting for the batch to form),
+	// Dispatch is window close → shard compute start (scheduler queue wait),
+	// Compute is the shard's inference time, and Settle is compute end →
+	// reply delivery.
+	Queued, Dispatch, Compute, Settle time.Duration
 }
 
-// query is one in-flight request.
+// query is one in-flight request. The span stamps (windowClose,
+// computeStart, computeEnd) are written by the batcher and the scheduler
+// before the synchronization points that publish the query onward, so the
+// settle path reads them race-free and the tracing adds zero allocations.
 type query struct {
 	x        *tensor.Tensor
 	enqueued time.Time
 	done     chan Result
 	result   *tensor.Tensor
+
+	windowClose  time.Time // stamped when the query's T/2 window closes
+	computeStart time.Time // stamped when its shard leaves the work queue
+	computeEnd   time.Time // stamped when its shard's inference finishes
 }
 
 // batchJob is one closed window's worth of queries with its backlog-aware
@@ -130,6 +155,7 @@ type query struct {
 type batchJob struct {
 	queries  []*query
 	decision serving.Decision
+	window   int64 // T/2 sequence number of the window this batch closed
 	// shards is how many pieces the window was sliced into; remaining
 	// counts the unfinished ones, and whoever finishes the last settles
 	// the window. workerNanos accumulates worker·time across the shards
@@ -149,16 +175,19 @@ type worker struct {
 
 // Server is a live SLO-aware inference server.
 type Server struct {
-	cfg     Config
-	policy  serving.Policy
-	cal     *Calibrator
-	shared  *slicing.Shared
-	workers []*worker
-	clock   Clock
-	metrics *metrics
-	started time.Time
+	cfg      Config
+	policy   serving.Policy
+	cal      *Calibrator
+	shared   *slicing.Shared
+	workers  []*worker
+	clock    Clock
+	metrics  *metrics
+	tracer   *obs.Tracer
+	recorder *obs.Recorder
+	started  time.Time
 
 	mu       sync.Mutex
+	winSeq   int64 // next T/2 window sequence number (every tick consumes one)
 	pending  []*query
 	inflight int             // queries dispatched but not yet answered
 	backlog  serving.Backlog // estimated completion horizon of dispatched work
@@ -232,14 +261,20 @@ func New(cfg Config) (*Server, error) {
 	if cfg.CalibrationBatch <= 0 {
 		cfg.CalibrationBatch = 32
 	}
+	if cfg.TraceSampleEvery == 0 {
+		cfg.TraceSampleEvery = 16
+	}
 
+	started := cfg.Clock.Now()
 	s := &Server{
 		cfg:      cfg,
 		shared:   shared,
 		workers:  workers,
 		clock:    cfg.Clock,
 		metrics:  newMetrics(cfg.Workers),
-		started:  cfg.Clock.Now(),
+		tracer:   obs.NewTracer(cfg.Rates, started, cfg.TraceSampleEvery, cfg.TraceLog),
+		recorder: obs.NewRecorder(cfg.DecisionLog),
+		started:  started,
 		quit:     make(chan struct{}),
 		tickDone: make(chan struct{}, 1),
 	}
@@ -299,6 +334,15 @@ func (s *Server) SLO() time.Duration { return s.cfg.SLO }
 
 // Calibrator exposes the live per-rate timing estimates.
 func (s *Server) Calibrator() *Calibrator { return s.cal }
+
+// Recorder exposes the window-decision flight recorder: the last
+// Config.DecisionLog scheduling decisions with their full inputs and the
+// derived degradation reason.
+func (s *Server) Recorder() *obs.Recorder { return s.recorder }
+
+// Tracer exposes the per-query span tracer: stage and per-rate latency
+// histograms plus the sampled trace ring behind /debug/trace.
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
 
 // minRate is the lowest deployable rate under the current mode.
 func (s *Server) minRate() float64 {
@@ -411,15 +455,31 @@ func (s *Server) Stats() Stats {
 	now := s.clock.Now()
 	st := s.metrics.snapshot(now.Sub(s.started))
 	s.mu.Lock()
+	st.Windows = s.winSeq
 	st.QueueDepth = len(s.pending)
 	st.InFlightQueries = s.inflight
 	st.BacklogSeconds = s.backlog.Ahead(s.sinceStart(now))
 	s.mu.Unlock()
 	st.BacklogWindows = s.sched.depth()
 	st.SampleTimes = s.cal.Snapshot()
-	st.PackCacheBytes = s.shared.PackCacheBytes()
+	es := s.shared.Stats()
+	st.PackCacheBytes, st.PackedEngine = es.PackCacheBytes, es.Packed
+	for _, wk := range s.workers {
+		st.ArenaBytes += wk.arena.HighWaterBytes()
+	}
 	gc := tensor.GemmStats()
 	st.GemmFanouts, st.GemmFanoutWorkers = gc.Fanouts, gc.FanoutWorkers
+	st.Latency = s.tracer.Total()
+	for i := 0; i < obs.NumStages; i++ {
+		st.StageLatency = append(st.StageLatency, StageLatency{
+			Stage: obs.StageNames[i], Hist: s.tracer.Stage(i),
+		})
+	}
+	for _, r := range s.tracer.Rates() {
+		if h, ok := s.tracer.Rate(r); ok && h.Count > 0 {
+			st.RateLatency = append(st.RateLatency, RateLatency{Rate: r, Hist: h})
+		}
+	}
 	return st
 }
 
@@ -468,6 +528,11 @@ func (s *Server) batchLoop() {
 func (s *Server) closeWindow() {
 	now := s.clock.Now()
 	s.mu.Lock()
+	// Every tick consumes a window sequence number, empty or not, so the
+	// live recorder's window indices line up with the simulation's tick
+	// indices in lockstep runs.
+	seq := s.winSeq
+	s.winSeq++
 	batch := s.pending
 	s.pending = nil
 	if len(batch) == 0 {
@@ -478,8 +543,12 @@ func (s *Server) closeWindow() {
 	s.inflight += len(batch)
 	s.mu.Unlock()
 
+	for _, q := range batch {
+		q.windowClose = now
+	}
+	s.recorder.Record(d.Record(s.policy, seq, len(batch), s.sinceStart(now)))
 	s.metrics.recordDecision(d)
-	job := &batchJob{queries: batch, decision: d}
+	job := &batchJob{queries: batch, decision: d, window: seq}
 	s.metrics.observeBacklog(int64(s.sched.enqueue(job)))
 }
 
@@ -523,7 +592,18 @@ func (s *Server) settle(job *batchJob, workerBusy time.Duration) {
 		if miss {
 			misses++
 		}
-		q.done <- Result{Output: q.result, Rate: job.decision.Rate, Latency: latency, SLOMiss: miss}
+		s.tracer.Observe(job.decision.Rate, job.window,
+			q.enqueued, q.windowClose, q.computeStart, q.computeEnd, now)
+		q.done <- Result{
+			Output:   q.result,
+			Rate:     job.decision.Rate,
+			Latency:  latency,
+			SLOMiss:  miss,
+			Queued:   q.windowClose.Sub(q.enqueued),
+			Dispatch: q.computeStart.Sub(q.windowClose),
+			Compute:  q.computeEnd.Sub(q.computeStart),
+			Settle:   now.Sub(q.computeEnd),
+		}
 	}
 	s.metrics.sloMisses.Add(misses)
 	acc, haveAcc := 0.0, false

@@ -1,5 +1,7 @@
 package serving
 
+import "modelslicing/internal/obs"
+
 // Backlog is the scheduling-state half of the Section 4.1 policy: a single
 // completion horizon — when the work already dispatched is estimated to
 // finish — on the policy's time axis. The T/2 guarantee ("window k+1 is
@@ -74,6 +76,48 @@ type Decision struct {
 	// Start and Completion bound the batch's estimated execution on the
 	// work-conserving timeline.
 	Start, Completion float64
+}
+
+// Reason names the decision's outcome for the flight recorder: "ok" when
+// the batch fits its budget at the chosen rate, "backlog-degraded" when
+// backlog cost the window rate (it still meets its deadline, lower),
+// "backlog-infeasible" when backlog cost it feasibility (an empty pool
+// would have served it in time), and "overrun" when the batch alone exceeds
+// its budget at every rate — no scheduler could have saved it.
+func (d Decision) Reason() string {
+	switch {
+	case d.Feasible && !d.Degraded:
+		return "ok"
+	case d.Feasible:
+		return "backlog-degraded"
+	case d.Degraded:
+		return "backlog-infeasible"
+	default:
+		return "overrun"
+	}
+}
+
+// Record expands the decision into the flight-recorder record type shared
+// with the live server: every input the decision ran against, plus the
+// derived reason. window is the T/2 sequence number and now the window's
+// close time on the policy axis — the same coordinates Decide was given.
+func (d Decision) Record(p Policy, window int64, arrivals int, now float64) obs.DecisionRecord {
+	return obs.DecisionRecord{
+		Window:     window,
+		Time:       now,
+		Arrivals:   arrivals,
+		Rate:       d.Rate,
+		MinRate:    p.Rates.Min(),
+		MaxRate:    p.Rates.Max(),
+		Feasible:   d.Feasible,
+		Degraded:   d.Degraded,
+		Slack:      d.Slack,
+		Ahead:      d.Ahead,
+		Work:       d.Work,
+		Start:      d.Start,
+		Completion: d.Completion,
+		Reason:     d.Reason(),
+	}
 }
 
 // Decide resolves the rate for a window of n queries closing at time now

@@ -19,6 +19,7 @@ import (
 	"math"
 	"math/rand"
 
+	"modelslicing/internal/obs"
 	"modelslicing/internal/slicing"
 )
 
@@ -36,6 +37,10 @@ type Config struct {
 	// AccuracyAt maps a rate to its measured accuracy, used to report the
 	// quality delivered under load; nil disables quality accounting.
 	AccuracyAt func(r float64) float64
+	// Recorder, when non-nil, receives one obs.DecisionRecord per non-empty
+	// window — the same flight-recorder type the live server writes, so a
+	// lockstep test can demand identical explanations from both paths.
+	Recorder *obs.Recorder
 }
 
 // TickStats records one T/2 scheduling window.
@@ -113,6 +118,9 @@ func Simulate(cfg Config, arrivals []int) Stats {
 			closeT := float64(k+1) * window
 			deadline := float64(k)*window + cfg.LatencySLO
 			d := backlog.Decide(policy, n, deadline, closeT)
+			if cfg.Recorder != nil {
+				cfg.Recorder.Record(d.Record(policy, int64(k), n, closeT))
+			}
 			tick.Rate = d.Rate
 			tick.Infeasible = !d.Feasible
 			tick.Degraded = d.Degraded
@@ -243,6 +251,9 @@ func FixedCapacityBaseline(cfg Config, fixedRate float64, arrivals []int) Stats 
 			stats.Processed += n
 			stats.RateHist[fixedRate] += n
 			d := backlog.DecideRate(policy, n, fixedRate, deadline, closeT)
+			if cfg.Recorder != nil {
+				cfg.Recorder.Record(d.Record(policy, int64(k), n, closeT))
+			}
 			tick.Ahead, tick.Slack = d.Ahead, d.Slack
 			tick.WorkTime, tick.Completion = d.Work, d.Completion
 			tick.Infeasible = !d.Feasible

@@ -65,6 +65,24 @@ func (s *Shared) SetPacked(on bool) { s.noPack = !on }
 // exposed per rate by msbench and as a gauge on the server's /metrics.
 func (s *Shared) PackCacheBytes() int64 { return nn.PackCacheBytes(s.model) }
 
+// EngineStats summarizes the shared engine's resource posture for the
+// observability layer: resident pack memory, whether the packed GEMM path is
+// active, and how many rates the one weight set is serving.
+type EngineStats struct {
+	PackCacheBytes int64
+	Packed         bool
+	Rates          int
+}
+
+// Stats snapshots the engine-level counters the serving metrics report.
+func (s *Shared) Stats() EngineStats {
+	return EngineStats{
+		PackCacheBytes: s.PackCacheBytes(),
+		Packed:         !s.noPack,
+		Rates:          len(s.rates),
+	}
+}
+
 // ctxPool recycles inference contexts so a steady-state Shared.Infer call
 // allocates nothing (the context escapes into the Layer interface call and
 // would otherwise cost one heap allocation per pass).

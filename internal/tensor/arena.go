@@ -1,5 +1,7 @@
 package tensor
 
+import "sync/atomic"
+
 // Arena is a bump allocator for the tensors of one inference pass. A forward
 // pass through a deep network allocates one output (and often scratch) tensor
 // per layer; with an arena those buffers come from a single reusable slab, so
@@ -21,6 +23,11 @@ package tensor
 type Arena struct {
 	slab []float64
 	off  int
+	// hw mirrors the slab's high-water size for concurrent observers: the
+	// owning goroutine publishes it at every Reset, so a metrics scrape can
+	// read a worker's arena footprint while the worker is mid-pass without
+	// racing on the slab itself.
+	hw atomic.Int64
 	// spilled counts elements that did not fit the slab this cycle; Reset
 	// grows the slab by this much so the next cycle fits entirely.
 	spilled int
@@ -126,6 +133,7 @@ func (a *Arena) Reset() {
 		a.slab = make([]float64, len(a.slab)+a.spilled)
 		a.spilled = 0
 	}
+	a.hw.Store(int64(len(a.slab)))
 	a.off = 0
 	a.used = 0
 }
@@ -137,4 +145,14 @@ func (a *Arena) Footprint() int {
 		return 0
 	}
 	return len(a.slab)
+}
+
+// HighWaterBytes reports the slab's high-water size in bytes as of the last
+// Reset. Unlike Footprint it is safe to call from any goroutine while the
+// owner is mid-pass — the observability stat hook for per-worker arenas.
+func (a *Arena) HighWaterBytes() int64 {
+	if a == nil {
+		return 0
+	}
+	return 8 * a.hw.Load()
 }
