@@ -51,7 +51,14 @@ func main() {
 	comparePath := flag.String("compare", "", "prior BENCH_*.json to diff a fresh run against; exit 1 past -slowdown")
 	slowdown := flag.Float64("slowdown", 1.25, "max tolerated slowdown factor for -compare (new/old ns)")
 	packed := flag.Bool("packed", true, "serve through the persistent packed-weight panels; -packed=false pins the unpacked engine")
+	tierFlag := flag.String("tier", "exact", "GEMM engine tier for the main perf suite: exact|fma|f32 (exact keeps old baselines comparable)")
 	flag.Parse()
+
+	tier, err := tensor.ParseTier(*tierFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "msbench: %v\n", err)
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, id := range experiments.List() {
@@ -60,7 +67,7 @@ func main() {
 		return
 	}
 	if *comparePath != "" {
-		rep := collectBench(*packed)
+		rep := collectBench(*packed, tier)
 		if *jsonOut || *outPath != "" {
 			if err := writeBenchJSON(rep, *outPath); err != nil {
 				fmt.Fprintln(os.Stderr, err)
@@ -78,7 +85,7 @@ func main() {
 		return
 	}
 	if *jsonOut {
-		if err := writeBenchJSON(collectBench(*packed), *outPath); err != nil {
+		if err := writeBenchJSON(collectBench(*packed, tier), *outPath); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -121,6 +128,13 @@ type benchReport struct {
 	GoMaxProcs int              `json:"gomaxprocs"`
 	Gemm       []gemmPoint      `json:"gemm"`
 	Inference  []inferencePoint `json:"inference"`
+	// Tier names the engine tier the main suite ran at; empty means exact,
+	// so snapshots written before the tier flag existed read back unchanged.
+	Tier string `json:"tier,omitempty"`
+	// Tiers holds the per-tier sections: a packed 256³ GEMM point and the
+	// per-rate shared path on each tier the host supports. Additive —
+	// -compare diffs them only when both snapshots carry them.
+	Tiers []tierSection `json:"tiers,omitempty"`
 }
 
 type gemmPoint struct {
@@ -129,6 +143,16 @@ type gemmPoint struct {
 	OpsPerS  float64 `json:"ops_per_s"`
 	GFLOPS   float64 `json:"gflops"`
 	AllocsOp int64   `json:"allocs_per_op"`
+	// PackBytes is the resident packed-operand memory of a packed-GEMM
+	// point (tier sections); zero (omitted) in the unpacked main sweep.
+	PackBytes int64 `json:"pack_bytes,omitempty"`
+}
+
+// tierSection is one engine tier's slice of the perf snapshot.
+type tierSection struct {
+	Tier      string           `json:"tier"`
+	Gemm      []gemmPoint      `json:"gemm"`
+	Inference []inferencePoint `json:"inference"`
 }
 
 type inferencePoint struct {
@@ -151,13 +175,19 @@ type inferencePoint struct {
 }
 
 // collectBench runs the perf suite with the testing harness and returns the
-// snapshot. With packed false, every Shared pins the unpacked engine.
-func collectBench(packed bool) benchReport {
+// snapshot. With packed false, every Shared pins the unpacked engine. The
+// main suite runs at the given tier (exact by default, so old baselines stay
+// comparable); the per-tier sections always sweep every tier the host
+// supports.
+func collectBench(packed bool, tier tensor.EngineTier) benchReport {
 	rep := benchReport{
 		Timestamp:  time.Now().UTC().Format(time.RFC3339),
 		GoOS:       runtime.GOOS,
 		GoArch:     runtime.GOARCH,
 		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	if tier != tensor.TierExact {
+		rep.Tier = tier.String()
 	}
 
 	for _, n := range []int{64, 128, 256, 512} {
@@ -171,7 +201,7 @@ func collectBench(packed bool) benchReport {
 		r := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				tensor.Gemm(n, n, n, a, n, bm, n, c, n)
+				tensor.GemmT(tier, n, n, n, a, n, bm, n, c, n)
 			}
 		})
 		ns := float64(r.NsPerOp())
@@ -193,6 +223,7 @@ func collectBench(packed bool) benchReport {
 	rates := slicing.NewRateList(0.25, 4)
 	shared := slicing.NewShared(model, rates)
 	shared.SetPacked(packed)
+	shared.SetTier(tier)
 	x := tensor.New(batch, 3, 16, 16)
 	for i := range x.Data {
 		x.Data[i] = rng.NormFloat64()
@@ -211,6 +242,7 @@ func collectBench(packed bool) benchReport {
 		sub := slicing.Extract(model, rate, rates)
 		subShared := slicing.NewShared(sub, slicing.NewRateList(1, 1))
 		subShared.SetPacked(packed)
+		subShared.SetTier(tier)
 		subShared.Infer(1, x, arena)
 		arena.Reset()
 		re := testing.Benchmark(func(b *testing.B) {
@@ -238,7 +270,88 @@ func collectBench(packed bool) benchReport {
 	for i := range rep.Inference {
 		rep.Inference[i].SampleTimeSeconds = sampleTime(rep.Inference[i].Rate)
 	}
+	rep.Tiers = collectTierSections(packed)
 	return rep
+}
+
+// collectTierSections measures every engine tier the host supports: one
+// packed 256³ GEMM point (the tiers' kernel-level throughput ladder) and the
+// per-rate zero-copy inference path, each tier on a fresh model so the
+// reported pack bytes isolate that tier's pack precision.
+func collectTierSections(packed bool) []tierSection {
+	tiers := []tensor.EngineTier{tensor.TierExact}
+	if tensor.HasFMA() {
+		tiers = append(tiers, tensor.TierFMA, tensor.TierF32)
+	}
+	const batch = 8
+	var out []tierSection
+	for _, tier := range tiers {
+		sec := tierSection{Tier: tier.String()}
+
+		// Packed 256³ GEMM: the exact and fma engines stream the shared f64
+		// panels, the f32 engine its scaled-float32 panels.
+		const n = 256
+		rng := rand.New(rand.NewSource(1))
+		a := make([]float64, n*n)
+		bt := make([]float64, n*n)
+		c := make([]float64, n*n)
+		for i := range a {
+			a[i], bt[i] = rng.NormFloat64(), rng.NormFloat64()
+		}
+		var pb tensor.Packed
+		if tier == tensor.TierF32 {
+			pb = tensor.PackTB32(n, n, bt, n)
+		} else {
+			pb = tensor.PackTB(n, n, bt, n)
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				tensor.GemmTBPackedExT(tier, n, n, n, a, n, pb, c, n, nil)
+			}
+		})
+		ns := float64(r.NsPerOp())
+		sec.Gemm = append(sec.Gemm, gemmPoint{
+			Size:      n,
+			NsPerOp:   ns,
+			OpsPerS:   1e9 / ns,
+			GFLOPS:    2 * float64(n) * float64(n) * float64(n) / ns,
+			AllocsOp:  r.AllocsPerOp(),
+			PackBytes: int64(pb.Bytes()),
+		})
+
+		// Per-rate inference on a fresh benchmark CNN at this tier.
+		mrng := rand.New(rand.NewSource(4))
+		model, _ := models.NewVGG(models.VGG13Mini(4, models.NormGroup, 1), mrng)
+		rates := slicing.NewRateList(0.25, 4)
+		shared := slicing.NewShared(model, rates)
+		shared.SetPacked(packed)
+		shared.SetTier(tier)
+		x := tensor.New(batch, 3, 16, 16)
+		for i := range x.Data {
+			x.Data[i] = mrng.NormFloat64()
+		}
+		arena := tensor.NewArena()
+		for _, rate := range rates {
+			shared.Infer(rate, x, arena)
+			arena.Reset()
+			rs := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					shared.Infer(rate, x, arena)
+					arena.Reset()
+				}
+			})
+			sec.Inference = append(sec.Inference, inferencePoint{
+				Rate:              rate,
+				NsPerSampleShared: float64(rs.NsPerOp()) / batch,
+				AllocsOpShared:    rs.AllocsPerOp(),
+				PackCacheBytes:    shared.PackCacheBytes(),
+			})
+		}
+		out = append(out, sec)
+	}
+	return out
 }
 
 // inferPercentiles times individual passes and returns nearest-rank
@@ -346,6 +459,37 @@ func compareBench(w io.Writer, oldPath string, fresh benchReport, slowdown float
 	for _, p := range old.Inference {
 		if !matchedInf[p.Rate] {
 			fmt.Fprintf(w, "%-28s %12.0fns %14s\n", fmt.Sprintf("rate %.2f (removed)", p.Rate), p.NsPerSampleShared, "-")
+		}
+	}
+	// Tier sections are additive: snapshots written before they existed (or
+	// on hosts with a different tier ladder) simply skip this block — only
+	// tiers present on both sides are gated.
+	oldTiers := make(map[string]tierSection, len(old.Tiers))
+	for _, ts := range old.Tiers {
+		oldTiers[ts.Tier] = ts
+	}
+	for _, ts := range fresh.Tiers {
+		ots, found := oldTiers[ts.Tier]
+		if !found {
+			continue
+		}
+		og := make(map[int]gemmPoint, len(ots.Gemm))
+		for _, g := range ots.Gemm {
+			og[g.Size] = g
+		}
+		for _, g := range ts.Gemm {
+			if o, hit := og[g.Size]; hit && o.NsPerOp > 0 {
+				row(fmt.Sprintf("tier %s gemm %d³ ns/op", ts.Tier, g.Size), o.NsPerOp, g.NsPerOp)
+			}
+		}
+		oi := make(map[float64]inferencePoint, len(ots.Inference))
+		for _, p := range ots.Inference {
+			oi[p.Rate] = p
+		}
+		for _, p := range ts.Inference {
+			if o, hit := oi[p.Rate]; hit && o.NsPerSampleShared > 0 {
+				row(fmt.Sprintf("tier %s rate %.2f ns/sample", ts.Tier, p.Rate), o.NsPerSampleShared, p.NsPerSampleShared)
+			}
 		}
 	}
 	if ok {

@@ -46,6 +46,7 @@ func main() {
 	workers := flag.Int("workers", 0, "batch shards (0 = min(4, GOMAXPROCS))")
 	queueFactor := flag.Float64("queue-factor", 1, "admission bound as a multiple of the lower-bound window capacity")
 	fixedRate := flag.Float64("fixed-rate", 0, "pin serving to one rate (fixed-width baseline; 0 = elastic)")
+	tier := flag.String("tier", "", "GEMM engine tier: exact|fma|f32 (empty = MS_ENGINE_TIER, default exact)")
 	traceSample := flag.Int("trace-sample", 16, "sample every k-th query's span into /debug/trace (negative disables the ring)")
 	seed := flag.Int64("seed", 1, "random seed")
 	flag.Parse()
@@ -101,6 +102,7 @@ func main() {
 		Workers:          *workers,
 		QueueFactor:      *queueFactor,
 		FixedRate:        *fixedRate,
+		Tier:             *tier,
 		AccuracyAt:       accuracyAt,
 		TraceSampleEvery: *traceSample,
 	})
@@ -143,7 +145,7 @@ func main() {
 		close(done)
 	}()
 
-	fmt.Printf("serving %s on %s (SLO %s, window %s)\n", *model, *addr, *slo, *slo/2)
+	fmt.Printf("serving %s on %s (SLO %s, window %s, engine tier %s)\n", *model, *addr, *slo, *slo/2, srv.Stats().EngineTier)
 	fmt.Printf("observability: /metrics (Prometheus), /debug/decisions (flight recorder), /debug/trace (Chrome trace, 1-in-%d queries), /debug/pprof/\n",
 		*traceSample)
 	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {

@@ -198,21 +198,26 @@ func (c *Conv2D) inferFused(ctx *Context, x *tensor.Tensor, ep *tensor.Epilogue)
 	// the pass: stream the per-width persistent pack (built once, shared by
 	// every worker and both lowerings) unless the context pins the unpacked
 	// engine.
-	var pw *tensor.PackedMat
+	tier := ctx.EffTier()
+	var pw tensor.Packed
 	if usePack(ctx) {
-		pw = c.packs.lookup(packKey{aOut, colRows})
+		k := packKey{aOut, colRows, packTierOf(tier)}
+		pw = c.packs.lookup(k)
 		if pw == nil {
-			pw = c.packs.build(packKey{aOut, colRows}, func() *tensor.PackedMat {
+			pw = c.packs.build(k, func() tensor.Packed {
+				if k.tier == tensor.TierF32 {
+					return tensor.PackA32(aOut, colRows, c.W.Value.Data, ldW)
+				}
 				return tensor.PackA(aOut, colRows, c.W.Value.Data, ldW)
 			})
 		}
 	}
 	gemm := func(n int, col []float64, ldb int, dst []float64, ldc int) {
 		if pw != nil {
-			tensor.GemmPackedEx(aOut, n, colRows, pw, col, ldb, dst, ldc, ep)
+			tensor.GemmPackedExT(tier, aOut, n, colRows, pw, col, ldb, dst, ldc, ep)
 			return
 		}
-		tensor.GemmEx(aOut, n, colRows, c.W.Value.Data, ldW, col, ldb, dst, ldc, ep)
+		tensor.GemmExT(tier, aOut, n, colRows, c.W.Value.Data, ldW, col, ldb, dst, ldc, ep)
 	}
 
 	// Tile the batch so the lowering scratch stays under convScratchCap.
@@ -349,6 +354,9 @@ func (c *Conv2D) Backward(ctx *Context, dy *tensor.Tensor) *tensor.Tensor {
 // packCacheBytes reports the resident per-width pack memory (see
 // PackCacheBytes).
 func (c *Conv2D) packCacheBytes() int64 { return c.packs.bytes() }
+
+// packCacheTierBytes splits the resident pack memory by pack precision.
+func (c *Conv2D) packCacheTierBytes() [tensor.NumTiers]int64 { return c.packs.bytesByTier() }
 
 // Params returns the learnable parameters.
 func (c *Conv2D) Params() []*Param {

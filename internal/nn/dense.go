@@ -119,23 +119,31 @@ func (d *Dense) inferFused(ctx *Context, x *tensor.Tensor, relu bool) *tensor.Te
 	if d.B != nil {
 		ep.ColShift = d.B.Value.Data
 	}
+	tier := ctx.EffTier()
 	if usePack(ctx) && tensor.GemmTBPrefersPacked(batch, aOut, aIn) {
-		pm := d.packs.lookup(packKey{aOut, aIn})
+		k := packKey{aOut, aIn, packTierOf(tier)}
+		pm := d.packs.lookup(k)
 		if pm == nil {
-			pm = d.packs.build(packKey{aOut, aIn}, func() *tensor.PackedMat {
+			pm = d.packs.build(k, func() tensor.Packed {
+				if k.tier == tensor.TierF32 {
+					return tensor.PackTB32(aOut, aIn, d.W.Value.Data, d.In)
+				}
 				return tensor.PackTB(aOut, aIn, d.W.Value.Data, d.In)
 			})
 		}
-		tensor.GemmTBPackedEx(batch, aOut, aIn, x.Data, aIn, pm, y.Data, aOut, &ep)
+		tensor.GemmTBPackedExT(tier, batch, aOut, aIn, x.Data, aIn, pm, y.Data, aOut, &ep)
 		return y
 	}
-	tensor.GemmTBEx(batch, aOut, aIn, x.Data, aIn, d.W.Value.Data, d.In, y.Data, aOut, &ep)
+	tensor.GemmTBExT(tier, batch, aOut, aIn, x.Data, aIn, d.W.Value.Data, d.In, y.Data, aOut, &ep)
 	return y
 }
 
 // packCacheBytes reports the resident per-width pack memory (see
 // PackCacheBytes).
 func (d *Dense) packCacheBytes() int64 { return d.packs.bytes() }
+
+// packCacheTierBytes splits the resident pack memory by pack precision.
+func (d *Dense) packCacheTierBytes() [tensor.NumTiers]int64 { return d.packs.bytesByTier() }
 
 // Backward accumulates dW, dB and returns dx[B × aIn].
 func (d *Dense) Backward(ctx *Context, dy *tensor.Tensor) *tensor.Tensor {

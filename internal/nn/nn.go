@@ -44,6 +44,19 @@ type Context struct {
 	// forcing the unpacked engine (benchmark escape hatch and A/B oracle;
 	// see packcache.go). Zero value: packing enabled.
 	NoPack bool
+	// Tier selects the GEMM engine tier for the inference path (Layer.Infer
+	// and the fused serving views): tensor.TierExact (zero value) keeps the
+	// bit-exact engine, TierFMA and TierF32 trade pinned accuracy budgets
+	// for throughput (see tensor/tier.go). Training always runs exact.
+	Tier tensor.EngineTier
+}
+
+// EffTier returns the engine tier, nil-safe (nil context means exact).
+func (c *Context) EffTier() tensor.EngineTier {
+	if c == nil {
+		return tensor.TierExact
+	}
+	return c.Tier
 }
 
 // EffRate returns the effective slice rate (0 mapped to 1).

@@ -1,0 +1,53 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"modelslicing/internal/tensor"
+)
+
+// TestLayerTierPackKeying pins the (width, tier) cache contract at the layer
+// level: the exact and fma tiers share one f64 pack per width, the f32 tier
+// adds its own half-size pack, and PackCacheTierBytes reports the split.
+func TestLayerTierPackKeying(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	conv := NewConv2D(4, 8, 3, 3, 1, 1, Fixed(), Fixed(), true, rng)
+	x := tensor.New(2, 4, 8, 8)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+
+	exact := conv.Infer(&Context{Tier: tensor.TierExact}, x).Clone()
+	afterExact := PackCacheBytes(conv)
+	if afterExact == 0 {
+		t.Fatal("exact tier built no pack")
+	}
+	conv.Infer(&Context{Tier: tensor.TierFMA}, x)
+	if got := PackCacheBytes(conv); got != afterExact {
+		t.Fatalf("fma tier grew the cache (%d → %d): must share the f64 pack", afterExact, got)
+	}
+	f32Out := conv.Infer(&Context{Tier: tensor.TierF32}, x)
+	byTier := PackCacheTierBytes(conv)
+	if byTier[tensor.TierExact] != afterExact {
+		t.Fatalf("f64 bucket = %d, want %d", byTier[tensor.TierExact], afterExact)
+	}
+	if byTier[tensor.TierF32] == 0 || byTier[tensor.TierF32] >= afterExact*3/4 {
+		t.Fatalf("f32 bucket = %d, want ~half of the f64 bucket %d", byTier[tensor.TierF32], afterExact)
+	}
+	if sum := byTier[tensor.TierExact] + byTier[tensor.TierF32] + byTier[tensor.TierFMA]; sum != PackCacheBytes(conv) {
+		t.Fatalf("tier buckets sum to %d, PackCacheBytes = %d", sum, PackCacheBytes(conv))
+	}
+
+	// And the f32 output stays within the kernel-level budget of the exact
+	// output (layer epilogues only rescale/shift, they do not amplify).
+	maxD, maxW := 0.0, 0.0
+	for i := range exact.Data {
+		maxD = math.Max(maxD, math.Abs(f32Out.Data[i]-exact.Data[i]))
+		maxW = math.Max(maxW, math.Abs(exact.Data[i]))
+	}
+	if maxD > 1e-4*maxW {
+		t.Fatalf("f32 tier layer output rel error %.3g > 1e-4", maxD/maxW)
+	}
+}

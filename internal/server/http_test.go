@@ -25,6 +25,9 @@ func liveServer(t *testing.T) *Server {
 		InputShape:       []int{4},
 		SLO:              20 * time.Millisecond,
 		CalibrationBatch: 8,
+		// Pin the tier so the /metrics assertions survive the CI sweeps
+		// over MS_ENGINE_TIER.
+		Tier: "exact",
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -120,6 +123,11 @@ func TestHTTPMetricsAndHealth(t *testing.T) {
 		"# TYPE msserver_window_ahead_seconds gauge",
 		"# TYPE msserver_inflight_queries gauge",
 		"msserver_degraded_batches_total",
+		`msserver_engine_tier{tier="exact"} 1`,
+		`msserver_engine_tier{tier="fma"} 0`,
+		`msserver_pack_cache_tier_bytes{tier="f32"}`,
+		`msserver_gemm_kernel_total{tier="exact",kernel="scalar"}`,
+		`msserver_gemm_kernel_total{tier="fma",kernel="vector"}`,
 	} {
 		if !strings.Contains(text, w) {
 			t.Fatalf("metrics missing %q:\n%s", w, text)

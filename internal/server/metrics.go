@@ -11,6 +11,7 @@ import (
 
 	"modelslicing/internal/obs"
 	"modelslicing/internal/serving"
+	"modelslicing/internal/tensor"
 )
 
 // metrics aggregates the server's counters. Hot-path counts are atomics;
@@ -120,8 +121,16 @@ type Stats struct {
 	// SampleTimes is the calibrator's current per-rate t(r) in seconds.
 	SampleTimes map[float64]float64
 	// PackCacheBytes is the resident per-width weight-pack memory the
-	// shared model is holding for the packed GEMM path.
-	PackCacheBytes int64
+	// shared model is holding for the packed GEMM path; PackCacheTierBytes
+	// splits it by pack precision (f64 panels shared by the exact and fma
+	// engines vs the f32 tier's scaled-float32 panels).
+	PackCacheBytes     int64
+	PackCacheTierBytes [tensor.NumTiers]int64
+	// EngineTier is the GEMM engine tier inference runs at.
+	EngineTier tensor.EngineTier
+	// GemmKernels are the process-wide per-tier micro-kernel dispatch
+	// counters (vector vs scalar), shared by every engine in the process.
+	GemmKernels [tensor.NumTiers]tensor.KernelCounters
 	// GemmFanouts / GemmFanoutWorkers are the process-wide GEMM fan-out
 	// counters (tensor.GemmStats): products split across goroutines, and
 	// workers spawned — shared by every engine in the process (including
@@ -220,6 +229,27 @@ func (s Stats) prometheus() string {
 	}
 	gauge("msserver_packed_engine", "1 when the packed-weight GEMM path is active, 0 when pinned unpacked.", packed)
 	gauge("msserver_arena_bytes", "Summed high-water activation-arena footprint across the worker pool.", float64(s.ArenaBytes))
+
+	b = append(b, "# HELP msserver_engine_tier Active GEMM engine tier (1 on the active tier's series).\n# TYPE msserver_engine_tier gauge\n"...)
+	for tier := tensor.EngineTier(0); tier < tensor.NumTiers; tier++ {
+		active := 0
+		if tier == s.EngineTier {
+			active = 1
+		}
+		b = append(b, fmt.Sprintf("msserver_engine_tier{tier=%q} %d\n", tier, active)...)
+	}
+	b = append(b, "# HELP msserver_pack_cache_tier_bytes Resident weight-pack memory per pack precision.\n# TYPE msserver_pack_cache_tier_bytes gauge\n"...)
+	for tier := tensor.EngineTier(0); tier < tensor.NumTiers; tier++ {
+		if tier == tensor.TierFMA {
+			continue // the fma engine reads the exact tier's f64 panels
+		}
+		b = append(b, fmt.Sprintf("msserver_pack_cache_tier_bytes{tier=%q} %d\n", tier, s.PackCacheTierBytes[tier])...)
+	}
+	b = append(b, "# HELP msserver_gemm_kernel_total Process-wide GEMM micro-kernel dispatches per engine tier (all engines in this process, calibration included).\n# TYPE msserver_gemm_kernel_total counter\n"...)
+	for tier := tensor.EngineTier(0); tier < tensor.NumTiers; tier++ {
+		b = append(b, fmt.Sprintf("msserver_gemm_kernel_total{tier=%q,kernel=\"vector\"} %d\n", tier, s.GemmKernels[tier].Vector)...)
+		b = append(b, fmt.Sprintf("msserver_gemm_kernel_total{tier=%q,kernel=\"scalar\"} %d\n", tier, s.GemmKernels[tier].Scalar)...)
+	}
 
 	rates := make([]float64, 0, len(s.RateHist))
 	for r := range s.RateHist {

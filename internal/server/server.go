@@ -88,6 +88,11 @@ type Config struct {
 	// FixedRate pins the policy to a single rate when > 0 — the
 	// fixed-width provisioning baseline the paper argues against.
 	FixedRate float64
+	// Tier selects the GEMM engine tier ("exact", "fma", "f32"); empty
+	// defaults to MS_ENGINE_TIER (exact when unset). The tier is applied
+	// before startup calibration, so the measured t(r) reflects the engine
+	// that will serve traffic.
+	Tier string
 	// AccuracyAt maps a rate to its measured accuracy for quality
 	// accounting; nil disables it.
 	AccuracyAt func(r float64) float64
@@ -253,6 +258,13 @@ func New(cfg Config) (*Server, error) {
 		return nil, errors.New("server: model contains a layer without an Infer implementation; it cannot be served concurrently")
 	}
 	shared := slicing.NewShared(cfg.Model, cfg.Rates)
+	if cfg.Tier != "" {
+		tier, err := tensor.ParseTier(cfg.Tier)
+		if err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+		shared.SetTier(tier)
+	}
 	workers := make([]*worker, cfg.Workers)
 	for w := range workers {
 		workers[w] = &worker{shared: shared, arena: tensor.NewArena()}
@@ -464,11 +476,13 @@ func (s *Server) Stats() Stats {
 	st.SampleTimes = s.cal.Snapshot()
 	es := s.shared.Stats()
 	st.PackCacheBytes, st.PackedEngine = es.PackCacheBytes, es.Packed
+	st.PackCacheTierBytes, st.EngineTier = es.PackCacheTierBytes, es.Tier
 	for _, wk := range s.workers {
 		st.ArenaBytes += wk.arena.HighWaterBytes()
 	}
 	gc := tensor.GemmStats()
 	st.GemmFanouts, st.GemmFanoutWorkers = gc.Fanouts, gc.FanoutWorkers
+	st.GemmKernels = gc.Kernels
 	st.Latency = s.tracer.Total()
 	for i := 0; i < obs.NumStages; i++ {
 		st.StageLatency = append(st.StageLatency, StageLatency{

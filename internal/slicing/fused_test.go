@@ -46,6 +46,7 @@ func TestSharedFusedMatchesUnfusedOracle(t *testing.T) {
 	}
 	for _, tc := range cases {
 		shared := NewShared(tc.model, rates)
+		shared.SetTier(tensor.TierExact) // the 1e-12 fusion oracle assumes the exact tier
 		arena := tensor.NewArena()
 		oracleArena := tensor.NewArena()
 		for _, r := range rates {

@@ -1,0 +1,5 @@
+//go:build race
+
+package slicing
+
+const raceEnabled = true

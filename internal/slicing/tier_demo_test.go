@@ -1,0 +1,63 @@
+package slicing_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"modelslicing/internal/demo"
+	"modelslicing/internal/slicing"
+	"modelslicing/internal/tensor"
+)
+
+// TestDemoModelTierAccuracyDelta is the end-to-end accuracy-budget check on
+// a real trained model: serving the demo MLP on a fast tier must not move
+// test-set predictions. The fma tier must agree on every argmax; the f32
+// tier may flip at most 1% of samples near decision boundaries (observed: 0),
+// bounding its accuracy delta by the same 1%.
+func TestDemoModelTierAccuracyDelta(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains the demo model")
+	}
+	rng := rand.New(rand.NewSource(703))
+	m := demo.TrainMLP(0.25, 4, 2, rng)
+	rates := m.Rates
+
+	const n = 256
+	x := tensor.New(n, demo.Features)
+	for i := 0; i < n; i++ {
+		copy(x.Data[i*demo.Features:(i+1)*demo.Features], m.Sample(rng).Data)
+	}
+	argmax := func(row []float64) int {
+		best := 0
+		for j, v := range row {
+			if v > row[best] {
+				best = j
+			}
+		}
+		return best
+	}
+
+	shared := slicing.NewShared(m.Net, rates)
+	for _, r := range rates {
+		shared.SetTier(tensor.TierExact)
+		exact := shared.Infer(r, x, nil)
+		for _, tc := range []struct {
+			tier     tensor.EngineTier
+			maxFlips int
+		}{{tensor.TierFMA, 0}, {tensor.TierF32, n / 100}} {
+			shared.SetTier(tc.tier)
+			got := shared.Infer(r, x, nil)
+			flips := 0
+			for i := 0; i < n; i++ {
+				if argmax(got.Data[i*demo.Classes:(i+1)*demo.Classes]) !=
+					argmax(exact.Data[i*demo.Classes:(i+1)*demo.Classes]) {
+					flips++
+				}
+			}
+			if flips > tc.maxFlips {
+				t.Fatalf("tier %v rate %v: %d/%d predictions flipped (max %d)",
+					tc.tier, r, flips, n, tc.maxFlips)
+			}
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package slicing
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"modelslicing/internal/tensor"
+)
+
+// End-to-end accuracy gates for the fast tiers, pinned against the exact
+// unpacked oracle at every deployable rate. Measured deviations on the
+// miniCNN sit around 1e-15 (fma) and 1e-6 (f32); the gates leave two to
+// three orders of headroom while still catching a broken accuracy budget.
+const (
+	fmaSharedTol = 1e-9
+	f32SharedTol = 1e-4
+)
+
+// TestSharedTierAccuracyGates pins the tier contract end to end: a Shared
+// serving on a fast tier must stay within the tier's pinned tolerance of the
+// exact engine at every deployable rate.
+func TestSharedTierAccuracyGates(t *testing.T) {
+	rng := rand.New(rand.NewSource(700))
+	rates := NewRateList(0.25, 4)
+	model := miniCNN(rng)
+
+	oracle := NewShared(model, rates)
+	oracle.SetTier(tensor.TierExact)
+	oracle.SetPacked(false)
+
+	for _, tc := range []struct {
+		tier tensor.EngineTier
+		tol  float64
+	}{{tensor.TierFMA, fmaSharedTol}, {tensor.TierF32, f32SharedTol}} {
+		fast := NewShared(model, rates)
+		fast.SetTier(tc.tier)
+		arenaF := tensor.NewArena()
+		arenaO := tensor.NewArena()
+		for _, r := range rates {
+			x := randInput(rng, 4, 3, 8, 8)
+			got := fast.Infer(r, x, arenaF)
+			want := oracle.Infer(r, x, arenaO)
+			if !got.SameShape(want) {
+				t.Fatalf("tier %v rate %v: shape %v vs %v", tc.tier, r, got.Shape, want.Shape)
+			}
+			maxD, maxW := 0.0, 0.0
+			for i := range want.Data {
+				maxD = math.Max(maxD, math.Abs(got.Data[i]-want.Data[i]))
+				maxW = math.Max(maxW, math.Abs(want.Data[i]))
+			}
+			if maxD > tc.tol*math.Max(maxW, 1) {
+				t.Fatalf("tier %v rate %v: rel error %.3g exceeds the %g gate",
+					tc.tier, r, maxD/math.Max(maxW, 1), tc.tol)
+			}
+			arenaF.Reset()
+			arenaO.Reset()
+		}
+		st := fast.Stats()
+		if st.Tier != tc.tier {
+			t.Fatalf("Stats().Tier = %v, want %v", st.Tier, tc.tier)
+		}
+	}
+
+	// After serving exact/fma (shared f64 packs) and f32 (own packs), the
+	// per-precision split must account for every resident byte.
+	byTier := oracle.PackCacheTierBytes()
+	if byTier[tensor.TierExact] == 0 || byTier[tensor.TierF32] == 0 {
+		t.Fatalf("expected both pack precisions resident, got %v", byTier)
+	}
+	if sum := byTier[tensor.TierExact] + byTier[tensor.TierFMA] + byTier[tensor.TierF32]; sum != oracle.PackCacheBytes() {
+		t.Fatalf("tier buckets sum to %d, PackCacheBytes = %d", sum, oracle.PackCacheBytes())
+	}
+}
+
+// TestSharedTierPackRace hammers the (width, tier) pack-build race: workers
+// serving all three tiers hit a fresh model simultaneously, so first touches
+// of every (width, precision) key race into the builders (run with -race in
+// CI). Every tier is deterministic, so all workers must agree bit-for-bit
+// per (tier, rate).
+func TestSharedTierPackRace(t *testing.T) {
+	rng := rand.New(rand.NewSource(701))
+	rates := NewRateList(0.25, 4)
+	model := miniCNN(rng)
+
+	tiers := []tensor.EngineTier{tensor.TierExact, tensor.TierFMA, tensor.TierF32}
+	views := make([]*Shared, len(tiers))
+	for i, tier := range tiers {
+		views[i] = NewShared(model, rates) // same model: the caches are shared
+		views[i].SetTier(tier)
+	}
+	inputs := make([]*tensor.Tensor, len(rates))
+	for i := range rates {
+		inputs[i] = randInput(rng, 2, 3, 8, 8)
+	}
+
+	const workers = 9
+	outs := make([][]*tensor.Tensor, workers) // worker → tier*rate
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			arena := tensor.NewArena()
+			outs[w] = make([]*tensor.Tensor, len(tiers)*len(rates))
+			// Stagger tier order across workers so distinct precisions of
+			// the same width race each other, not just same-key builders.
+			for ti := range tiers {
+				v := views[(w+ti)%len(tiers)]
+				for ri, r := range rates {
+					y := v.Infer(r, inputs[ri], arena).Clone()
+					outs[w][(w+ti)%len(tiers)*len(rates)+ri] = y
+					arena.Reset()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		for k := range outs[0] {
+			a, b := outs[0][k], outs[w][k]
+			for i := range a.Data {
+				if a.Data[i] != b.Data[i] {
+					t.Fatalf("worker %d diverged from worker 0 on slot %d", w, k)
+				}
+			}
+		}
+	}
+}
+
+// TestSharedTierZeroAlloc pins the steady-state serving contract per tier:
+// once packs are warm, Infer allocates nothing at any rate on any tier.
+func TestSharedTierZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-mode sync.Pool drops items by design; alloc counts are meaningless")
+	}
+	rng := rand.New(rand.NewSource(702))
+	rates := NewRateList(0.25, 4)
+	shared := NewShared(miniCNN(rng), rates)
+	arena := tensor.NewArena()
+	for _, tier := range []tensor.EngineTier{tensor.TierExact, tensor.TierFMA, tensor.TierF32} {
+		shared.SetTier(tier)
+		for _, r := range rates {
+			x := randInput(rng, 4, 3, 8, 8)
+			pass := func() {
+				shared.Infer(r, x, arena)
+				arena.Reset()
+			}
+			pass() // warm: lazy pack build and arena growth allocate
+			pass()
+			if allocs := testing.AllocsPerRun(20, pass); allocs > 0 {
+				t.Fatalf("tier %v rate %v: %v allocs per pass, want 0", tier, r, allocs)
+			}
+		}
+	}
+}

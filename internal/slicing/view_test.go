@@ -108,6 +108,7 @@ func TestSharedMatchesExtract(t *testing.T) {
 	rates := NewRateList(0.25, 4)
 	for _, tc := range sharedCases(rng) {
 		shared := NewShared(tc.model, rates)
+		shared.SetTier(tensor.TierExact) // oracle tolerances assume the exact tier
 		arena := tensor.NewArena()
 		for _, r := range rates {
 			sub := Extract(tc.model, r, rates)
@@ -137,6 +138,7 @@ func TestSharedMatchesPredict(t *testing.T) {
 	model := miniCNN(rng)
 	rates := NewRateList(0.25, 4)
 	shared := NewShared(model, rates)
+	shared.SetTier(tensor.TierExact) // Predict runs the exact Forward path
 	for _, r := range rates {
 		x := randInput(rng, 2, 3, 8, 8)
 		want := Predict(model, rates, r, x)

@@ -118,12 +118,20 @@ var packPool = sync.Pool{
 	},
 }
 
-// Gemm computes C[m×n] += A[m×k] · B[k×n].
+// Gemm computes C[m×n] += A[m×k] · B[k×n] on the exact tier.
 func Gemm(m, n, k int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
+	GemmT(TierExact, m, n, k, a, lda, b, ldb, c, ldc)
+}
+
+// GemmT is Gemm on an explicit engine tier: TierExact reproduces Gemm bit
+// for bit; the fast tiers contract each multiply-add into a fused one (see
+// tier.go for the accuracy contract). Tier selection is per call — no global
+// state — so exact and fast products can interleave freely.
+func GemmT(tier EngineTier, m, n, k int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
 	checkMat("Gemm A", m, k, lda, len(a))
 	checkMat("Gemm B", k, n, ldb, len(b))
 	checkMat("Gemm C", m, n, ldc, len(c))
-	gemmParallel(m, n, k, a, lda, false, b, ldb, false, c, ldc, false, nil)
+	gemmParallel(tier, m, n, k, a, lda, false, b, ldb, false, c, ldc, false, nil)
 }
 
 // GemmEx computes C[m×n] = epilogue(A[m×k] · B[k×n]) — assign mode (β=0): C
@@ -134,6 +142,11 @@ func Gemm(m, n, k int, a []float64, lda int, b []float64, ldb int, c []float64, 
 // results are bit-identical to the unfused sequence when the epilogue steps
 // match.
 func GemmEx(m, n, k int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int, ep *Epilogue) {
+	GemmExT(TierExact, m, n, k, a, lda, b, ldb, c, ldc, ep)
+}
+
+// GemmExT is GemmEx on an explicit engine tier (see GemmT).
+func GemmExT(tier EngineTier, m, n, k int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int, ep *Epilogue) {
 	checkMat("GemmEx A", m, k, lda, len(a))
 	checkMat("GemmEx B", k, n, ldb, len(b))
 	checkMat("GemmEx C", m, n, ldc, len(c))
@@ -152,12 +165,20 @@ func GemmEx(m, n, k int, a []float64, lda int, b []float64, ldb int, c []float64
 		}
 		return
 	}
-	gemmParallel(m, n, k, a, lda, false, b, ldb, false, c, ldc, true, ep)
+	gemmParallel(tier, m, n, k, a, lda, false, b, ldb, false, c, ldc, true, ep)
 }
 
 // GemmTBEx computes C[m×n] = epilogue(A · Bᵀ) where B is stored as [n×k] —
 // the assign-mode, fused-epilogue variant of GemmTB (see GemmEx).
 func GemmTBEx(m, n, k int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int, ep *Epilogue) {
+	GemmTBExT(TierExact, m, n, k, a, lda, b, ldb, c, ldc, ep)
+}
+
+// GemmTBExT is GemmTBEx on an explicit engine tier (see GemmT). Products
+// below the small-GEMM threshold stay on the exact strided dot kernel at
+// every tier: there is no bandwidth or FLOP win to buy accuracy with at
+// those sizes, so the fast tiers are exact there by design.
+func GemmTBExT(tier EngineTier, m, n, k int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int, ep *Epilogue) {
 	checkMat("GemmTBEx A", m, k, lda, len(a))
 	checkMat("GemmTBEx B", n, k, ldb, len(b))
 	checkMat("GemmTBEx C", m, n, ldc, len(c))
@@ -172,7 +193,7 @@ func GemmTBEx(m, n, k int, a []float64, lda int, b []float64, ldb int, c []float
 		}
 		return
 	}
-	gemmParallel(m, n, k, a, lda, false, b, ldb, true, c, ldc, true, ep)
+	gemmParallel(tier, m, n, k, a, lda, false, b, ldb, true, c, ldc, true, ep)
 }
 
 // gemmFanout returns how many workers the row and column splits each admit
@@ -212,20 +233,33 @@ var (
 	gemmFanoutWorkers atomic.Int64
 )
 
-// GemmCounters is a snapshot of the engine's global fan-out counters.
+// GemmCounters is a snapshot of the engine's global fan-out and kernel
+// dispatch counters.
 type GemmCounters struct {
 	// Fanouts counts GEMM calls that split across goroutines.
 	Fanouts int64
 	// FanoutWorkers counts the worker goroutines those calls spawned.
 	FanoutWorkers int64
+	// Kernels counts micro-panel kernel dispatches per tier (indexed by
+	// EngineTier), split by whether the vector kernel or the scalar
+	// fallback ran — the serving layer surfaces these as
+	// msserver_gemm_kernel_total{tier,kernel}.
+	Kernels [NumTiers]KernelCounters
 }
 
-// GemmStats returns the process-wide GEMM fan-out counters.
+// GemmStats returns the process-wide GEMM fan-out and dispatch counters.
 func GemmStats() GemmCounters {
-	return GemmCounters{
+	gc := GemmCounters{
 		Fanouts:       gemmFanoutCount.Load(),
 		FanoutWorkers: gemmFanoutWorkers.Load(),
 	}
+	for t := 0; t < NumTiers; t++ {
+		gc.Kernels[t] = KernelCounters{
+			Vector: kernelVectorCount[t].Load(),
+			Scalar: kernelScalarCount[t].Load(),
+		}
+	}
+	return gc
 }
 
 // gemmFanoutRun partitions [0, total) into chunk-sized ranges, runs each on
@@ -269,7 +303,7 @@ func GemmTA(m, n, k int, a []float64, lda int, b []float64, ldb int, c []float64
 		gemmTASimple(m, n, k, a, lda, b, ldb, c, ldc)
 		return
 	}
-	gemmParallel(m, n, k, a, lda, true, b, ldb, false, c, ldc, false, nil)
+	gemmParallel(TierExact, m, n, k, a, lda, true, b, ldb, false, c, ldc, false, nil)
 }
 
 // GemmTB computes C[m×n] += A · Bᵀ where B is stored as [n×k].
@@ -281,7 +315,7 @@ func GemmTB(m, n, k int, a []float64, lda int, b []float64, ldb int, c []float64
 		gemmTBSimple(m, n, k, a, lda, b, ldb, c, ldc)
 		return
 	}
-	gemmParallel(m, n, k, a, lda, false, b, ldb, true, c, ldc, false, nil)
+	gemmParallel(TierExact, m, n, k, a, lda, false, b, ldb, true, c, ldc, false, nil)
 }
 
 // --- simple strided paths for small transposed products ---
@@ -369,10 +403,10 @@ func gemmTBSimpleAssign(m, n, k int, a []float64, lda int, b []float64, ldb int,
 // spatial columns) splits columns — disjoint C column ranges are just as
 // race-free as disjoint row ranges, and the epilogue offsets follow the
 // split.
-func gemmParallel(m, n, k int, a []float64, lda int, aTrans bool, b []float64, ldb int, bTrans bool, c []float64, ldc int, assign bool, ep *Epilogue) {
+func gemmParallel(tier EngineTier, m, n, k int, a []float64, lda int, aTrans bool, b []float64, ldb int, bTrans bool, c []float64, ldc int, assign bool, ep *Epilogue) {
 	rowW, colW, ok := gemmShouldFanout(m, n, k)
 	if !ok {
-		gemmBlocked(m, n, k, a, lda, aTrans, b, ldb, bTrans, c, ldc, assign, ep, 0, 0)
+		gemmBlocked(tier, m, n, k, a, lda, aTrans, b, ldb, bTrans, c, ldc, assign, ep, 0, 0)
 		return
 	}
 	if rowW >= colW {
@@ -381,9 +415,9 @@ func gemmParallel(m, n, k int, a []float64, lda int, aTrans bool, b []float64, l
 			if aTrans {
 				// A is [k×m]; a row offset of the logical product is a
 				// column offset in storage.
-				gemmBlocked(rows, n, k, a[lo:], lda, true, b, ldb, bTrans, c[lo*ldc:], ldc, assign, wep, lo, 0)
+				gemmBlocked(tier, rows, n, k, a[lo:], lda, true, b, ldb, bTrans, c[lo*ldc:], ldc, assign, wep, lo, 0)
 			} else {
-				gemmBlocked(rows, n, k, a[lo*lda:], lda, false, b, ldb, bTrans, c[lo*ldc:], ldc, assign, wep, lo, 0)
+				gemmBlocked(tier, rows, n, k, a[lo*lda:], lda, false, b, ldb, bTrans, c[lo*ldc:], ldc, assign, wep, lo, 0)
 			}
 		})
 		return
@@ -393,9 +427,9 @@ func gemmParallel(m, n, k int, a []float64, lda int, aTrans bool, b []float64, l
 		if bTrans {
 			// B is [n×k]; a column offset of the logical product is a
 			// row offset in storage.
-			gemmBlocked(m, cols, k, a, lda, aTrans, b[lo*ldb:], ldb, true, c[lo:], ldc, assign, wep, 0, lo)
+			gemmBlocked(tier, m, cols, k, a, lda, aTrans, b[lo*ldb:], ldb, true, c[lo:], ldc, assign, wep, 0, lo)
 		} else {
-			gemmBlocked(m, cols, k, a, lda, aTrans, b[lo:], ldb, false, c[lo:], ldc, assign, wep, 0, lo)
+			gemmBlocked(tier, m, cols, k, a, lda, aTrans, b[lo:], ldb, false, c[lo:], ldc, assign, wep, 0, lo)
 		}
 	})
 }
@@ -413,7 +447,7 @@ func gemmParallel(m, n, k int, a []float64, lda int, aTrans bool, b []float64, l
 // the tile is still cache-hot; rowOff/colOff locate this call's C window
 // inside the epilogue's vectors when a parallel caller has split the
 // product.
-func gemmBlocked(m, n, k int, a []float64, lda int, aTrans bool, b []float64, ldb int, bTrans bool, c []float64, ldc int, assign bool, ep *Epilogue, rowOff, colOff int) {
+func gemmBlocked(tier EngineTier, m, n, k int, a []float64, lda int, aTrans bool, b []float64, ldb int, bTrans bool, c []float64, ldc int, assign bool, ep *Epilogue, rowOff, colOff int) {
 	var aPack, bPack []float64
 	if aTrans {
 		buf := packPool.Get().(*[]float64)
@@ -456,9 +490,9 @@ func gemmBlocked(m, n, k int, a []float64, lda int, aTrans bool, b []float64, ld
 					bp = b[pc*ldb+jc:]
 				}
 				if assign && first {
-					gemmPanelAssign(mcb, ncb, kcb, ablk, ldab, bp, ldbp, c[ic*ldc+jc:], ldc)
+					gemmPanelAssignT(tier, mcb, ncb, kcb, ablk, ldab, bp, ldbp, c[ic*ldc+jc:], ldc)
 				} else {
-					gemmPanel(mcb, ncb, kcb, ablk, ldab, bp, ldbp, c[ic*ldc+jc:], ldc)
+					gemmPanelT(tier, mcb, ncb, kcb, ablk, ldab, bp, ldbp, c[ic*ldc+jc:], ldc)
 				}
 				if last && ep != nil {
 					applyEpilogue(mcb, ncb, c[ic*ldc+jc:], ldc, ep, rowOff+ic, colOff+jc)
@@ -468,6 +502,50 @@ func gemmBlocked(m, n, k int, a []float64, lda int, aTrans bool, b []float64, ld
 	}
 }
 
+// gemmPanelT routes one micro-panel to the requested tier's kernel family:
+// the exact tier's AVX/scalar pair (gemmPanel) or the fast tiers' fused
+// FMA/math.FMA pair (gemmPanelFMA — TierF32 lands here too when its operands
+// are plain f64, i.e. any unpacked product, where f32 adds nothing over fma).
+// It also counts the vector-vs-scalar decision per tier; both kernel
+// families share the vecMinCols narrow-panel threshold, so the counters
+// mirror the dispatch exactly.
+func gemmPanelT(tier EngineTier, rows, ncb, kcb int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
+	if tier == TierExact {
+		if useAVX && ncb >= vecMinCols {
+			kernelVectorCount[TierExact].Add(1)
+		} else {
+			kernelScalarCount[TierExact].Add(1)
+		}
+		gemmPanel(rows, ncb, kcb, a, lda, b, ldb, c, ldc)
+		return
+	}
+	if useFMA && ncb >= vecMinCols {
+		kernelVectorCount[tier].Add(1)
+	} else {
+		kernelScalarCount[tier].Add(1)
+	}
+	gemmPanelFMA(rows, ncb, kcb, a, lda, b, ldb, c, ldc)
+}
+
+// gemmPanelAssignT is gemmPanelT for the β=0 first k-panel.
+func gemmPanelAssignT(tier EngineTier, rows, ncb, kcb int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
+	if tier == TierExact {
+		if useAVX && ncb >= vecMinCols {
+			kernelVectorCount[TierExact].Add(1)
+		} else {
+			kernelScalarCount[TierExact].Add(1)
+		}
+		gemmPanelAssign(rows, ncb, kcb, a, lda, b, ldb, c, ldc)
+		return
+	}
+	if useFMA && ncb >= vecMinCols {
+		kernelVectorCount[tier].Add(1)
+	} else {
+		kernelScalarCount[tier].Add(1)
+	}
+	gemmPanelAssignFMA(rows, ncb, kcb, a, lda, b, ldb, c, ldc)
+}
+
 // gemmPanel is the 2×4 axpy micro-kernel: C[rows×ncb] += A[rows×kcb] ·
 // B[kcb×ncb], walking two C rows per pass over four B rows, so each loaded
 // B value feeds four independent multiply-adds (sixteen flops per four B
@@ -475,7 +553,7 @@ func gemmBlocked(m, n, k int, a []float64, lda int, aTrans bool, b []float64, ld
 // accumulation order is the same as a one-row sweep — k-quads ascending —
 // so results are bit-identical to the rank-4 kernel this replaces.
 func gemmPanel(rows, ncb, kcb int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
-	if useAVX && ncb >= avxMinCols {
+	if useAVX && ncb >= vecMinCols {
 		gemmPanelAVX(rows, ncb, kcb, a, lda, b, ldb, c, ldc)
 		return
 	}
@@ -541,7 +619,7 @@ func gemmPanelRow(ncb, kcb int, ai []float64, b []float64, ldb int, ci []float64
 // accumulate exactly as gemmPanel does. Grouping and order match gemmPanel,
 // so the result is bit-compatible with running gemmPanel on a zeroed C.
 func gemmPanelAssign(rows, ncb, kcb int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
-	if useAVX && ncb >= avxMinCols {
+	if useAVX && ncb >= vecMinCols {
 		gemmPanelAssignAVX(rows, ncb, kcb, a, lda, b, ldb, c, ldc)
 		return
 	}

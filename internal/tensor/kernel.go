@@ -8,9 +8,13 @@ package tensor
 // loops; gemmPanel and gemmPanelAssign dispatch here when the host has AVX
 // and the panel is wide enough to amortize the call.
 
-// avxMinCols is the narrowest C panel worth a vector call: below it the
-// per-call overhead (slice setup, broadcast reloads) beats the lane win.
-const avxMinCols = 8
+// vecMinCols is the narrowest C panel worth a vector call: below it the
+// per-call overhead (slice setup, broadcast reloads) beats the lane win. The
+// threshold is shared by every vector family — the exact tier's AVX kernels
+// and the fast tiers' FMA/F32 kernels (kernel_fma.go) — because the overhead
+// it amortizes (per-call setup against per-lane wins) is the same regardless
+// of which instruction the inner loop retires.
+const vecMinCols = 8
 
 // gemmPanelAVX is the vector form of gemmPanel.
 func gemmPanelAVX(rows, ncb, kcb int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {

@@ -23,7 +23,7 @@ func TestVectorKernelBitIdenticalToScalar(t *testing.T) {
 		{8, 256, 72, 0},    // conv stage shape
 		{64, 16, 576, 1},   // deep k: multiple kc panels
 		{65, 300, 63, 2},   // ragged nc tiles
-		{16, 7, 30, 0},     // below avxMinCols: scalar either way
+		{16, 7, 30, 0},     // below vecMinCols: scalar either way
 		{130, 130, 130, 0}, // above the parallel threshold
 	}
 	run := func(dst []float64, s shape, a, b, bt []float64, ep *Epilogue, which int) {

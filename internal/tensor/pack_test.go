@@ -36,7 +36,7 @@ func packedCase(t *testing.T, m, n, k, lda, ldbT, ldbS, ldc int, ep *Epilogue) {
 	want := make([]float64, (m-1)*ldc+n+3)
 	fillRand(rng, want)
 	got := append([]float64(nil), want...)
-	gemmParallel(m, n, k, a, lda, false, bs, ldbS, false, want, ldc, true, ep)
+	gemmParallel(TierExact, m, n, k, a, lda, false, bs, ldbS, false, want, ldc, true, ep)
 	GemmPackedEx(m, n, k, PackA(m, k, a, lda), bs, ldbS, got, ldc, ep)
 	check("GemmPackedEx", got, want)
 
@@ -44,7 +44,7 @@ func packedCase(t *testing.T, m, n, k, lda, ldbT, ldbS, ldc int, ep *Epilogue) {
 	want2 := make([]float64, (m-1)*ldc+n+3)
 	fillRand(rng, want2)
 	got2 := append([]float64(nil), want2...)
-	gemmParallel(m, n, k, a, lda, false, bt, ldbT, true, want2, ldc, true, ep)
+	gemmParallel(TierExact, m, n, k, a, lda, false, bt, ldbT, true, want2, ldc, true, ep)
 	GemmTBPackedEx(m, n, k, a, lda, PackTB(n, k, bt, ldbT), got2, ldc, ep)
 	check("GemmTBPackedEx", got2, want2)
 

@@ -1,0 +1,5 @@
+//go:build race
+
+package tensor
+
+const raceEnabled = true
