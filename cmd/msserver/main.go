@@ -29,6 +29,7 @@ import (
 
 	"modelslicing/internal/data"
 	"modelslicing/internal/demo"
+	"modelslicing/internal/faults"
 	"modelslicing/internal/models"
 	"modelslicing/internal/nn"
 	"modelslicing/internal/persist"
@@ -48,6 +49,7 @@ func main() {
 	fixedRate := flag.Float64("fixed-rate", 0, "pin serving to one rate (fixed-width baseline; 0 = elastic)")
 	tier := flag.String("tier", "", "GEMM engine tier: exact|fma|f32 (empty = MS_ENGINE_TIER, default exact)")
 	traceSample := flag.Int("trace-sample", 16, "sample every k-th query's span into /debug/trace (negative disables the ring)")
+	dropExpired := flag.Bool("drop-expired", false, "answer queries whose SLO already expired with an error instead of computing them late")
 	seed := flag.Int64("seed", 1, "random seed")
 	flag.Parse()
 
@@ -105,6 +107,7 @@ func main() {
 		Tier:             *tier,
 		AccuracyAt:       accuracyAt,
 		TraceSampleEvery: *traceSample,
+		DropExpired:      *dropExpired,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -131,7 +134,19 @@ func main() {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	httpSrv := &http.Server{Addr: *addr, Handler: mux}
+	// Slow-client armor: a peer that trickles headers or never reads its
+	// response must not pin a connection (and its goroutine) forever. The
+	// write timeout dominates the SLO by a wide margin, so no legitimate
+	// /predict round-trip is cut off.
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      max(60*time.Second, 10*(*slo)),
+		IdleTimeout:       120 * time.Second,
+		MaxHeaderBytes:    1 << 20,
+	}
 	done := make(chan struct{})
 	go func() {
 		sig := make(chan os.Signal, 1)
@@ -146,6 +161,9 @@ func main() {
 	}()
 
 	fmt.Printf("serving %s on %s (SLO %s, window %s, engine tier %s)\n", *model, *addr, *slo, *slo/2, srv.Stats().EngineTier)
+	if armed := faults.Summary(); armed != "" {
+		fmt.Printf("WARNING: fault injection armed via MS_FAULTS: %s\n", armed)
+	}
 	fmt.Printf("observability: /metrics (Prometheus), /debug/decisions (flight recorder), /debug/trace (Chrome trace, 1-in-%d queries), /debug/pprof/\n",
 		*traceSample)
 	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {

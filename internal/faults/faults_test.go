@@ -1,0 +1,164 @@
+package faults
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSetSpellingAndModes(t *testing.T) {
+	defer Reset()
+	if err := Set("worker-panic=first2,shard-stall=every3,disk-error"); err != nil {
+		t.Fatal(err)
+	}
+	// first2: exactly the first two calls fire.
+	got := []bool{Should(WorkerPanic), Should(WorkerPanic), Should(WorkerPanic)}
+	if !got[0] || !got[1] || got[2] {
+		t.Fatalf("first2 fired %v, want true,true,false", got)
+	}
+	if n := Fired(WorkerPanic); n != 2 {
+		t.Fatalf("fired count %d, want 2", n)
+	}
+	// every3: calls 3, 6, ... fire.
+	var fires []int
+	for i := 1; i <= 7; i++ {
+		if Should(ShardStall) {
+			fires = append(fires, i)
+		}
+	}
+	if len(fires) != 2 || fires[0] != 3 || fires[1] != 6 {
+		t.Fatalf("every3 fired at %v, want [3 6]", fires)
+	}
+	// bare point: always.
+	for i := 0; i < 3; i++ {
+		if !Should(DiskError) {
+			t.Fatal("always-mode point did not fire")
+		}
+	}
+	if !Active(DiskError) || Active(CalibrationSkew) {
+		t.Fatal("Active does not reflect the armed set")
+	}
+	if s := Summary(); !strings.Contains(s, "disk-error") || !strings.Contains(s, "worker-panic=first2") {
+		t.Fatalf("summary %q missing armed points", s)
+	}
+}
+
+func TestSetRejectsBadSpellings(t *testing.T) {
+	defer Reset()
+	for _, spec := range []string{
+		"no-such-point",
+		"worker-panic=p1.5",
+		"worker-panic=every0",
+		"worker-panic=sometimes",
+	} {
+		if err := Set(spec); err == nil {
+			t.Fatalf("Set(%q) accepted", spec)
+		}
+	}
+	// A rejected Set must leave the registry disarmed.
+	if Should(WorkerPanic) {
+		t.Fatal("failed Set left a point armed")
+	}
+}
+
+func TestProbabilityModeIsDeterministicAcrossResets(t *testing.T) {
+	defer Reset()
+	roll := func() []bool {
+		if err := Set("slow-compute=p0.5"); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]bool, 32)
+		for i := range out {
+			out[i] = Should(SlowCompute)
+		}
+		return out
+	}
+	a, b := roll(), roll()
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("p-mode diverged at call %d across identical Set sequences", i)
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Fatalf("p0.5 fired %d/%d times; the mode is degenerate", fired, len(a))
+	}
+}
+
+func TestDisarmedFastPathCostsNothingAndFiresNothing(t *testing.T) {
+	Reset()
+	for _, p := range Points() {
+		if Should(p) || Active(p) {
+			t.Fatalf("disarmed point %s fired", p)
+		}
+	}
+	if err := ErrOn(DiskError); err != nil {
+		t.Fatalf("disarmed ErrOn returned %v", err)
+	}
+	if d := Delay(SlowCompute); d != 0 {
+		t.Fatalf("disarmed Delay returned %v", d)
+	}
+	if Stall(ShardStall, nil) {
+		t.Fatal("disarmed Stall blocked")
+	}
+}
+
+func TestStallReleasedByDisable(t *testing.T) {
+	defer Reset()
+	if err := Enable(ShardStall, ""); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	stalled := make(chan struct{})
+	go func() {
+		defer wg.Done()
+		close(stalled)
+		if !Stall(ShardStall, nil) {
+			t.Error("armed Stall did not stall")
+		}
+	}()
+	<-stalled
+	time.Sleep(5 * time.Millisecond) // let the goroutine reach the select
+	Disable(ShardStall)
+	wg.Wait() // hangs here if Disable does not release the stall
+}
+
+func TestStallReleasedByCancel(t *testing.T) {
+	defer Reset()
+	if err := Enable(ShardStall, ""); err != nil {
+		t.Fatal(err)
+	}
+	cancel := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		Stall(ShardStall, cancel)
+		close(done)
+	}()
+	close(cancel)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled Stall did not return")
+	}
+}
+
+func TestCountsSurviveDisable(t *testing.T) {
+	defer Reset()
+	if err := Enable(WorkerPanic, "first1"); err != nil {
+		t.Fatal(err)
+	}
+	Should(WorkerPanic)
+	Disable(WorkerPanic)
+	if c := Counts(); c[WorkerPanic] != 1 {
+		t.Fatalf("counts after disable %v, want worker-panic=1", c)
+	}
+	Reset()
+	if c := Counts(); len(c) != 0 {
+		t.Fatalf("counts after reset %v, want empty", c)
+	}
+}

@@ -41,7 +41,11 @@ type DecisionRecord struct {
 	// window's close. Model-derived (not an execution observation), so the
 	// simulator and the live server agree on it deterministically.
 	Depth int `json:"depth"`
-	// Reason explains the outcome: "ok", "backlog-degraded" (backlog cost
+	// Circuit marks a window rate-pinned by an open fault circuit (live
+	// server only; the simulation never trips it).
+	Circuit bool `json:"circuit,omitempty"`
+	// Reason explains the outcome: "ok", "circuit-pinned" (an open fault
+	// circuit pinned the rate floor), "backlog-degraded" (backlog cost
 	// rate), "backlog-infeasible" (backlog cost feasibility), or "overrun"
 	// (the batch alone exceeds its budget at every rate).
 	Reason string `json:"reason"`

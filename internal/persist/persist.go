@@ -1,31 +1,110 @@
 // Package persist saves and loads model parameters in a compact binary
 // checkpoint format (magic + per-parameter name, shape and float64 payload),
 // so trained slicing models can be deployed by cmd/mstrain and the examples.
+//
+// Checkpoints are crash-safe: Save writes to a temporary file in the target
+// directory, fsyncs it, and renames it over the destination — a crash at any
+// point leaves either the old checkpoint or the new one, never a torn mix.
+// The current format (magic "MSLC0002") ends in a CRC32 of everything before
+// it, and Load refuses to copy a single byte into the model until the
+// checksum has verified over the whole file; legacy "MSLC0001" checkpoints
+// (no checksum) still load.
 package persist
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
 
+	"modelslicing/internal/faults"
 	"modelslicing/internal/nn"
 )
 
-const magic = "MSLC0001"
+const (
+	magicV1 = "MSLC0001" // legacy: no checksum trailer
+	magicV2 = "MSLC0002" // current: CRC32-IEEE over magic+body appended
+)
 
-// Save writes the parameters of a model to path.
+// Save atomically writes the parameters of a model to path: the bytes go to
+// a temporary file in path's directory, are fsynced, and are renamed into
+// place — readers (and crashes) see the old checkpoint or the new one in
+// full, never a partial write. The file ends in a CRC32 over everything
+// before it, so Load can reject torn or bit-flipped checkpoints outright.
 func Save(path string, params []*nn.Param) error {
-	f, err := os.Create(path)
+	if err := faults.ErrOn(faults.DiskError); err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return fmt.Errorf("persist: %w", err)
 	}
-	defer f.Close()
-	w := bufio.NewWriter(f)
-	if _, err := w.WriteString(magic); err != nil {
+	tmp := f.Name()
+	// Any failure from here on leaves no debris: the temp file is removed
+	// and the real checkpoint was never touched.
+	defer func() {
+		if f != nil {
+			f.Close()
+		}
+		if tmp != "" {
+			os.Remove(tmp)
+		}
+	}()
+
+	sum := crc32.NewIEEE()
+	w := bufio.NewWriter(io.MultiWriter(f, sum))
+	if _, err := w.WriteString(magicV2); err != nil {
 		return err
 	}
+	if err := writeBody(w, params); err != nil {
+		return err
+	}
+	// Flush the body through the CRC before reading it, then append the
+	// trailer straight to the file (the checksum must not cover itself).
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if err := binary.Write(f, binary.LittleEndian, sum.Sum32()); err != nil {
+		return err
+	}
+	// Durability order: file contents reach disk before the rename publishes
+	// them, and the directory entry reaches disk before Save claims success.
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		f = nil
+		return err
+	}
+	f = nil
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	tmp = ""
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a completed rename survives power loss.
+// Filesystems that refuse directory fsync (some CI tmpfs mounts) are not an
+// integrity problem — the rename itself is still atomic — so refusal is not
+// an error.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	_ = d.Sync()
+	return nil
+}
+
+// writeBody writes the parameter sections (everything after the magic).
+func writeBody(w io.Writer, params []*nn.Param) error {
 	if err := binary.Write(w, binary.LittleEndian, uint32(len(params))); err != nil {
 		return err
 	}
@@ -45,25 +124,47 @@ func Save(path string, params []*nn.Param) error {
 			return err
 		}
 	}
-	return w.Flush()
+	return nil
 }
 
 // Load reads a checkpoint into the parameters of a model built with the same
-// architecture (names and shapes must match in order).
+// architecture (names and shapes must match in order). A current-format
+// checkpoint is checksum-verified in full before any parameter is written,
+// so a torn or corrupted file can never leave the model half-loaded with
+// garbage.
 func Load(path string, params []*nn.Param) error {
-	f, err := os.Open(path)
+	if err := faults.ErrOn(faults.DiskError); err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	raw, err := os.ReadFile(path)
 	if err != nil {
 		return fmt.Errorf("persist: %w", err)
 	}
-	defer f.Close()
-	r := bufio.NewReader(f)
-	head := make([]byte, len(magic))
-	if _, err := io.ReadFull(r, head); err != nil {
-		return fmt.Errorf("persist: reading header: %w", err)
-	}
-	if string(head) != magic {
+	if len(raw) < len(magicV2) {
 		return fmt.Errorf("persist: %s is not a model-slicing checkpoint", path)
 	}
+	switch string(raw[:len(magicV2)]) {
+	case magicV2:
+		if len(raw) < len(magicV2)+4 {
+			return fmt.Errorf("persist: %s: truncated checkpoint (no checksum)", path)
+		}
+		body, trailer := raw[:len(raw)-4], raw[len(raw)-4:]
+		want := binary.LittleEndian.Uint32(trailer)
+		if got := crc32.ChecksumIEEE(body); got != want {
+			return fmt.Errorf("persist: %s: checksum mismatch (%08x != %08x): checkpoint is corrupt", path, got, want)
+		}
+		return readBody(bytes.NewReader(body[len(magicV2):]), params)
+	case magicV1:
+		// Legacy checkpoints carry no checksum; parse defensively and trust
+		// the structural checks.
+		return readBody(bytes.NewReader(raw[len(magicV1):]), params)
+	default:
+		return fmt.Errorf("persist: %s is not a model-slicing checkpoint", path)
+	}
+}
+
+// readBody parses the parameter sections into params.
+func readBody(r io.Reader, params []*nn.Param) error {
 	var n uint32
 	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
 		return err

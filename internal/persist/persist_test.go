@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"modelslicing/internal/faults"
 	"modelslicing/internal/models"
 	"modelslicing/internal/nn"
 	"modelslicing/internal/tensor"
@@ -61,5 +62,150 @@ func TestLoadRejectsGarbage(t *testing.T) {
 	m := models.NewMLP(8, []int{16}, 4, 4, rng)
 	if err := Load(path, m.Params()); err == nil {
 		t.Fatal("expected magic-mismatch error")
+	}
+}
+
+// params returns a fresh model's parameter list with a deterministic seed.
+func testModel(seed int64) []*nn.Param {
+	return models.NewMLP(8, []int{16}, 4, 4, rand.New(rand.NewSource(seed))).Params()
+}
+
+func TestLoadRejectsEveryTruncation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt.bin")
+	if err := Save(path, testModel(4)); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A checkpoint cut at any byte offset — the torn writes a non-atomic
+	// save could leave behind — must refuse to load. Stride keeps the sweep
+	// fast; the first and last few bytes are covered exactly.
+	cut := filepath.Join(dir, "cut.bin")
+	offsets := []int{0, 1, 7, 8, 11, len(raw) - 5, len(raw) - 1}
+	for off := 16; off < len(raw)-8; off += 97 {
+		offsets = append(offsets, off)
+	}
+	for _, off := range offsets {
+		if err := os.WriteFile(cut, raw[:off], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := Load(cut, testModel(5)); err == nil {
+			t.Fatalf("checkpoint truncated at %d/%d bytes loaded without error", off, len(raw))
+		}
+	}
+}
+
+func TestLoadRejectsBitFlips(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt.bin")
+	if err := Save(path, testModel(6)); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flipped := filepath.Join(dir, "flipped.bin")
+	for _, off := range []int{0, len(magicV2) + 2, len(raw) / 2, len(raw) - 2} {
+		bad := append([]byte(nil), raw...)
+		bad[off] ^= 0x40
+		if err := os.WriteFile(flipped, bad, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := Load(flipped, testModel(7)); err == nil {
+			t.Fatalf("checkpoint with byte %d flipped loaded without error", off)
+		}
+	}
+}
+
+func TestSaveIsAtomicUnderCrashDebris(t *testing.T) {
+	// Simulate a crash mid-save: a stray partial temp file next to a good
+	// checkpoint. The real path must still load the old model bit-for-bit,
+	// and a subsequent Save must succeed and replace it cleanly.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt.bin")
+	src := testModel(8)
+	if err := Save(path, src); err != nil {
+		t.Fatal(err)
+	}
+	debris := filepath.Join(dir, ".ckpt.bin.tmp-12345")
+	if err := os.WriteFile(debris, []byte(magicV2+"torn"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	dst := testModel(9)
+	if err := Load(path, dst); err != nil {
+		t.Fatalf("good checkpoint failed to load beside crash debris: %v", err)
+	}
+	for i, p := range src {
+		for j := range p.Value.Data {
+			if p.Value.Data[j] != dst[i].Value.Data[j] {
+				t.Fatal("loaded params differ from saved params")
+			}
+		}
+	}
+	if err := Save(path, testModel(10)); err != nil {
+		t.Fatalf("re-save beside crash debris: %v", err)
+	}
+}
+
+func TestLoadAcceptsLegacyV1(t *testing.T) {
+	// A pre-checksum checkpoint (magic MSLC0001, no CRC trailer) must keep
+	// loading. Build one by rewriting a v2 file: swap the magic and drop the
+	// trailer — the body layout is identical across versions.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt.bin")
+	src := testModel(11)
+	if err := Save(path, src); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy := append([]byte(magicV1), raw[len(magicV2):len(raw)-4]...)
+	v1 := filepath.Join(dir, "legacy.bin")
+	if err := os.WriteFile(v1, legacy, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dst := testModel(12)
+	if err := Load(v1, dst); err != nil {
+		t.Fatalf("legacy v1 checkpoint failed to load: %v", err)
+	}
+	for i, p := range src {
+		for j := range p.Value.Data {
+			if p.Value.Data[j] != dst[i].Value.Data[j] {
+				t.Fatal("legacy load differs from saved params")
+			}
+		}
+	}
+}
+
+func TestDiskErrorFaultInjection(t *testing.T) {
+	defer faults.Reset()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt.bin")
+	src := testModel(13)
+	if err := Save(path, src); err != nil {
+		t.Fatal(err)
+	}
+	if err := faults.Enable(faults.DiskError, "on"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(path, src); err == nil {
+		t.Fatal("Save under disk-error fault succeeded")
+	}
+	if err := Load(path, testModel(14)); err == nil {
+		t.Fatal("Load under disk-error fault succeeded")
+	}
+	if got := faults.Fired(faults.DiskError); got != 2 {
+		t.Fatalf("disk-error fired %d times, want 2", got)
+	}
+	faults.Reset()
+	// The injected failures left the real checkpoint untouched.
+	if err := Load(path, testModel(15)); err != nil {
+		t.Fatalf("checkpoint damaged by injected-fault Save: %v", err)
 	}
 }

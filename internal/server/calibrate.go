@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"modelslicing/internal/faults"
 	"modelslicing/internal/slicing"
 )
 
@@ -67,6 +68,13 @@ func (c *Calibrator) set(r, perSample float64) {
 func (c *Calibrator) Observe(r float64, n int, elapsed time.Duration) {
 	if n < c.minN || n <= 0 || c.alpha == 0 || elapsed <= 0 {
 		return
+	}
+	if faults.Should(faults.CalibrationSkew) {
+		// Chaos harness: feed the EWMA a wildly pessimistic observation, as a
+		// thermal spike or a noisy neighbor would. The policy must degrade
+		// rates, not crash or wedge, and recover as clean observations
+		// return.
+		elapsed *= 8
 	}
 	perSample := elapsed.Seconds() / float64(n)
 	c.mu.Lock()

@@ -105,6 +105,18 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 	select {
 	case res := <-ch:
+		if res.Err != nil {
+			// Accepted but not answered: the shard panicked, was abandoned by
+			// the watchdog, or the query expired or was caught by shutdown.
+			// The failure is server-side and transient — the pool has already
+			// been repaired — so 500 with the cause, not a hung connection.
+			writeJSONStatus(w, http.StatusInternalServerError, map[string]any{
+				"error":      res.Err.Error(),
+				"rate":       res.Rate,
+				"latency_ms": float64(res.Latency.Microseconds()) / 1e3,
+			})
+			return
+		}
 		resp := PredictResponse{
 			Output:    res.Output.Data,
 			ArgMax:    res.Output.ArgMax(),
@@ -164,7 +176,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		http.Error(w, "shutting down", http.StatusServiceUnavailable)
 		return
 	}
-	writeJSON(w, map[string]any{"status": "ok", "slo_ms": float64(s.cfg.SLO.Microseconds()) / 1e3})
+	writeJSON(w, map[string]any{
+		"status":       "ok",
+		"slo_ms":       float64(s.cfg.SLO.Microseconds()) / 1e3,
+		"circuit_open": s.CircuitOpen(),
+	})
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -30,6 +30,15 @@ type metrics struct {
 	lastSlack   atomic.Uint64 // float64 bits: remaining slack of the last closed window
 	lastAhead   atomic.Uint64 // float64 bits: estimated in-flight work ahead of the last closed window
 
+	// Failure-domain counters (the fault-tolerant serving core).
+	workerPanics    atomic.Int64 // shards that panicked and were recovered
+	stuckShards     atomic.Int64 // shards the watchdog abandoned
+	workersReplaced atomic.Int64 // fresh workers spawned for abandoned ones
+	expiredDropped  atomic.Int64 // queries dropped at dispatch with an expired deadline
+	failedQueries   atomic.Int64 // queries answered with an error Result
+	circuitTrips    atomic.Int64 // times the brownout circuit opened
+	circuitPinned   atomic.Int64 // windows rate-pinned by an open circuit
+
 	mu       sync.Mutex
 	rateHist map[float64]int64 // rate → queries served at it
 	sumRate  float64           // Σ rate·queries, for the mean served rate
@@ -45,6 +54,9 @@ func newMetrics(poolSize int) *metrics {
 func (m *metrics) recordDecision(d serving.Decision) {
 	m.lastSlack.Store(math.Float64bits(d.Slack))
 	m.lastAhead.Store(math.Float64bits(d.Ahead))
+	if d.Circuit {
+		m.circuitPinned.Add(1)
+	}
 }
 
 // observeBacklog tracks the deepest windows-in-flight watermark.
@@ -91,8 +103,28 @@ type Stats struct {
 	// would have picked, because backlog ate their deadline slack — the
 	// cascade made visible instead of surfacing as surprise SLO misses.
 	DegradedBatches int64
-	RateHist        map[float64]int64
-	MeanRate        float64
+	// WorkerPanics counts shards that panicked mid-compute and were
+	// recovered; StuckShards counts shards the watchdog abandoned, and
+	// WorkersReplaced the fresh workers spawned to keep the pool whole.
+	WorkerPanics    int64
+	StuckShards     int64
+	WorkersReplaced int64
+	// ExpiredDropped counts queries dropped at dispatch because their SLO
+	// deadline had already passed; FailedQueries counts every query
+	// answered with an error Result (panic, stuck, expired, stopped).
+	ExpiredDropped int64
+	FailedQueries  int64
+	// CircuitOpen reports the brownout circuit's current state;
+	// CircuitTrips how many times it has opened, and CircuitPinnedWindows
+	// how many windows were served rate-pinned under it.
+	CircuitOpen          bool
+	CircuitTrips         int64
+	CircuitPinnedWindows int64
+	// FaultsFired is the process-wide fault-injection registry's fired
+	// counts per point (empty when the chaos harness is disarmed).
+	FaultsFired map[string]int64
+	RateHist    map[float64]int64
+	MeanRate    float64
 	// WeightedAccuracy averages the configured per-rate accuracy over all
 	// served queries (zero when Config.AccuracyAt is nil).
 	WeightedAccuracy float64
@@ -168,16 +200,23 @@ type RateLatency struct {
 // snapshot assembles Stats; elapsed is clock time since the server started.
 func (m *metrics) snapshot(elapsed time.Duration) Stats {
 	s := Stats{
-		Processed:          m.processed.Load(),
-		Rejected:           m.rejected.Load(),
-		SLOMisses:          m.sloMisses.Load(),
-		Batches:            m.batches.Load(),
-		InfeasibleBatches:  m.infeasible.Load(),
-		DegradedBatches:    m.degraded.Load(),
-		PeakBacklogWindows: m.peakBacklog.Load(),
-		LastSlackSeconds:   math.Float64frombits(m.lastSlack.Load()),
-		LastAheadSeconds:   math.Float64frombits(m.lastAhead.Load()),
-		RateHist:           make(map[float64]int64),
+		Processed:            m.processed.Load(),
+		Rejected:             m.rejected.Load(),
+		SLOMisses:            m.sloMisses.Load(),
+		Batches:              m.batches.Load(),
+		InfeasibleBatches:    m.infeasible.Load(),
+		DegradedBatches:      m.degraded.Load(),
+		WorkerPanics:         m.workerPanics.Load(),
+		StuckShards:          m.stuckShards.Load(),
+		WorkersReplaced:      m.workersReplaced.Load(),
+		ExpiredDropped:       m.expiredDropped.Load(),
+		FailedQueries:        m.failedQueries.Load(),
+		CircuitTrips:         m.circuitTrips.Load(),
+		CircuitPinnedWindows: m.circuitPinned.Load(),
+		PeakBacklogWindows:   m.peakBacklog.Load(),
+		LastSlackSeconds:     math.Float64frombits(m.lastSlack.Load()),
+		LastAheadSeconds:     math.Float64frombits(m.lastAhead.Load()),
+		RateHist:             make(map[float64]int64),
 	}
 	m.mu.Lock()
 	for r, n := range m.rateHist {
@@ -210,6 +249,29 @@ func (s Stats) prometheus() string {
 	counter("msserver_batches_total", "Batches dispatched.", s.Batches)
 	counter("msserver_infeasible_batches_total", "Batches that could not meet their deadline at any rate.", s.InfeasibleBatches)
 	counter("msserver_degraded_batches_total", "Batches served below the empty-pool rate because of backlog.", s.DegradedBatches)
+	counter("msserver_worker_panics_total", "Worker shards that panicked mid-compute and were recovered.", s.WorkerPanics)
+	counter("msserver_stuck_shards_total", "Worker shards abandoned by the liveness watchdog.", s.StuckShards)
+	counter("msserver_workers_replaced_total", "Fresh workers spawned to replace abandoned ones.", s.WorkersReplaced)
+	counter("msserver_expired_dropped_total", "Queries dropped at dispatch because their deadline had already passed.", s.ExpiredDropped)
+	counter("msserver_failed_queries_total", "Queries answered with an error result.", s.FailedQueries)
+	circuit := 0.0
+	if s.CircuitOpen {
+		circuit = 1
+	}
+	gauge("msserver_circuit_state", "1 while the brownout circuit is open (rate pinned to the floor), 0 when closed.", circuit)
+	counter("msserver_circuit_trips_total", "Times the brownout circuit opened on consecutive shard failures.", s.CircuitTrips)
+	counter("msserver_circuit_pinned_windows_total", "Windows served rate-pinned under an open circuit.", s.CircuitPinnedWindows)
+	if len(s.FaultsFired) > 0 {
+		points := make([]string, 0, len(s.FaultsFired))
+		for p := range s.FaultsFired {
+			points = append(points, p)
+		}
+		sort.Strings(points)
+		b = append(b, "# HELP msserver_fault_fired_total Injected faults fired per fault point (chaos harness).\n# TYPE msserver_fault_fired_total counter\n"...)
+		for _, p := range points {
+			b = append(b, fmt.Sprintf("msserver_fault_fired_total{point=%q} %d\n", p, s.FaultsFired[p])...)
+		}
+	}
 	gauge("msserver_queue_depth", "Queries waiting for the next window.", float64(s.QueueDepth))
 	gauge("msserver_inflight_queries", "Queries dispatched but not yet answered.", float64(s.InFlightQueries))
 	gauge("msserver_backlog_windows", "Closed windows queued or executing in the scheduler.", float64(s.BacklogWindows))

@@ -1,13 +1,20 @@
 package server
 
 import (
-	"sync"
+	"fmt"
 	"time"
+
+	"sync"
+	"sync/atomic"
+
+	"modelslicing/internal/faults"
+	"modelslicing/internal/tensor"
 )
 
 // scheduler is the dispatch half of the server: closed windows are sliced
 // into pool-sized shards on a single FIFO work queue, drained by whichever
-// workers are idle. Its contracts fix the serving-window latency cascade:
+// workers are idle. Its contracts fix the serving-window latency cascade and
+// bound every failure to the shard it happened in:
 //
 //   - enqueue never blocks, so the batch ticker keeps closing windows no
 //     matter how far processing has fallen behind (the old fixed-size
@@ -22,6 +29,12 @@ import (
 //     work-conserving behavior the Backlog horizon models.
 //   - each in-flight shard holds exactly one worker, bounding concurrency
 //     by the pool size — no unbounded goroutines.
+//   - a shard is a failure domain: a panic inside compute is recovered and
+//     answered as that shard's error; a shard the watchdog declares stuck
+//     is abandoned (its queries answered with an error, its worker replaced
+//     by a fresh one so the pool never shrinks) rather than allowed to hold
+//     the window hostage. Either way every query of the window still gets
+//     exactly one reply, and the other shards are untouched.
 type scheduler struct {
 	srv  *Server
 	pool int // total workers, for shard sizing
@@ -29,18 +42,31 @@ type scheduler struct {
 	mu      sync.Mutex
 	tasks   []*task   // window shards in window-close order
 	free    []*worker // idle workers
+	active  []*task   // shards currently executing (watchdog scan set)
 	jobs    int       // windows enqueued but not yet settled
-	running int       // shards currently executing
+	running int       // non-abandoned shards currently executing
 	closed  bool      // no further enqueues (shutdown)
 
 	wake chan struct{} // capacity 1: queue or pool changed
 	done chan struct{} // closed once drained after shutdown
 }
 
+// Shard lifecycle states. The CAS from taskRunning decides ownership of the
+// shard's queries: the worker goroutine (→ taskDone) or the watchdog
+// (→ taskAbandoned) settles them, never both.
+const (
+	taskRunning int32 = iota
+	taskDone
+	taskAbandoned
+)
+
 // task is one contiguous shard of a window's batch.
 type task struct {
-	job   *batchJob
-	shard []*query
+	job     *batchJob
+	shard   []*query
+	started time.Time     // stamped when a worker picks the shard up
+	state   atomic.Int32  // taskRunning → taskDone | taskAbandoned
+	abandon chan struct{} // closed by the watchdog; releases injected stalls
 }
 
 // newScheduler takes ownership of the worker pool and starts the loop.
@@ -63,15 +89,35 @@ func newScheduler(srv *Server, workers []*worker) *scheduler {
 // concurrent dequeue. The shard size mirrors what runBatchOn would give
 // every worker on an idle pool; under backlog the same shards simply start
 // staggered as workers free up.
+//
+// A closed scheduler (mid- or post-shutdown) fails the window immediately
+// with ErrStopped instead of parking shards no one will drain — the
+// never-a-hung-channel half of the Submit contract, for the one path that
+// could otherwise strand a window.
 func (d *scheduler) enqueue(job *batchJob) (depth int) {
 	n := len(job.queries)
 	per := (n + d.pool - 1) / d.pool
 	job.shards = (n + per - 1) / per
 	job.remaining.Store(int32(job.shards))
 	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		now := d.srv.clock.Now()
+		for _, q := range job.queries {
+			q.err = ErrStopped
+			q.computeStart, q.computeEnd = now, now
+		}
+		job.remaining.Store(0)
+		d.srv.settle(job, 0)
+		return 0
+	}
 	for lo := 0; lo < n; lo += per {
 		hi := min(lo+per, n)
-		d.tasks = append(d.tasks, &task{job: job, shard: job.queries[lo:hi]})
+		d.tasks = append(d.tasks, &task{
+			job:     job,
+			shard:   job.queries[lo:hi],
+			abandon: make(chan struct{}),
+		})
 	}
 	d.jobs++
 	depth = d.jobs
@@ -81,12 +127,27 @@ func (d *scheduler) enqueue(job *batchJob) (depth int) {
 }
 
 // shutdown marks the end of input; done closes once the queue has drained
-// and every running shard has settled.
+// and every running shard has settled or been abandoned. A real-time sweep
+// keeps the watchdog alive through the drain — the batch ticker that
+// normally drives it has already exited, and a shard wedged during shutdown
+// must not wedge Stop itself.
 func (d *scheduler) shutdown() {
 	d.mu.Lock()
 	d.closed = true
 	d.mu.Unlock()
 	d.notify()
+	go func() {
+		t := time.NewTicker(50 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-d.done:
+				return
+			case <-t.C:
+				d.scanStuck(d.srv.clock.Now())
+			}
+		}
+	}()
 }
 
 // depth reports closed windows not yet fully processed.
@@ -113,6 +174,8 @@ func (d *scheduler) loop() {
 			d.tasks = d.tasks[1:]
 			wk := d.free[len(d.free)-1]
 			d.free = d.free[:len(d.free)-1]
+			t.started = d.srv.clock.Now()
+			d.active = append(d.active, t)
 			d.running++
 			go d.run(t, wk)
 		}
@@ -125,19 +188,104 @@ func (d *scheduler) loop() {
 	}
 }
 
+// scanStuck is the watchdog: any shard executing longer than the configured
+// StuckAfter bound is abandoned — its queries answered with ErrShardStuck,
+// its worker written off and replaced by a fresh one so the pool never
+// shrinks. The worker goroutine itself cannot be killed; when (if) it
+// eventually returns it finds the CAS lost and discards everything it
+// computed. Driven from the batch ticker (the injected clock, so fake-clock
+// tests exercise it deterministically) and from a real-time sweep during
+// shutdown. A non-positive bound disables the watchdog.
+func (d *scheduler) scanStuck(now time.Time) {
+	after := d.srv.cfg.StuckAfter
+	if after <= 0 {
+		return
+	}
+	var victims []*task
+	d.mu.Lock()
+	kept := d.active[:0]
+	for _, t := range d.active {
+		if now.Sub(t.started) >= after && t.state.CompareAndSwap(taskRunning, taskAbandoned) {
+			close(t.abandon)
+			d.running--
+			d.free = append(d.free, d.srv.newWorker())
+			victims = append(victims, t)
+			continue
+		}
+		kept = append(kept, t)
+	}
+	d.active = kept
+	d.mu.Unlock()
+	for _, t := range victims {
+		d.srv.metrics.stuckShards.Add(1)
+		d.srv.metrics.workersReplaced.Add(1)
+		d.srv.noteShardFailure()
+		d.failShard(t, fmt.Errorf("%w after %v", ErrShardStuck, after), now)
+	}
+	if len(victims) > 0 {
+		d.notify()
+	}
+}
+
+// failShard answers every query of an abandoned shard with err and settles
+// the window if this was its last outstanding shard. The query error writes
+// happen before the remaining-counter decrement that publishes the shard —
+// the same ordering the result writes rely on. The zombie worker goroutine,
+// having lost the state CAS, will touch none of these fields.
+func (d *scheduler) failShard(t *task, err error, now time.Time) {
+	for _, q := range t.shard {
+		if q.err == nil {
+			q.err = err
+		}
+		q.computeStart, q.computeEnd = t.started, now
+	}
+	if t.job.remaining.Add(-1) == 0 {
+		d.finish(t.job)
+		d.mu.Lock()
+		d.jobs--
+		d.mu.Unlock()
+		d.notify()
+	}
+}
+
 // run executes one shard; whoever finishes a window's last shard settles
-// the whole window.
+// the whole window. Compute runs under execute's recover, so a panicking
+// kernel or model layer fails its shard — error results, circuit
+// bookkeeping — instead of killing the process.
 func (d *scheduler) run(t *task, wk *worker) {
 	s := d.srv
-	start := s.clock.Now()
-	wk.run(t.shard, t.job.decision.Rate, s.cfg.InputShape)
+	start := t.started
+	dropped, err := d.execute(t, wk)
 	end := s.clock.Now()
+
+	if !t.state.CompareAndSwap(taskRunning, taskDone) {
+		// The watchdog abandoned this shard while it ran: the queries are
+		// already answered, the worker already replaced. Drop both. Nothing
+		// shared was written on the way here — query mutations happen only
+		// below, after the CAS settles ownership — so the zombie and the
+		// watchdog can never race on a query.
+		return
+	}
 	t.job.workerNanos.Add(int64(end.Sub(start)))
-	// Span stamps for the shard's queries: written before the remaining
-	// counter's atomic decrement below, which is what publishes the shard to
-	// the settling goroutine — same ordering q.result already relies on.
+	// Span stamps and error outcomes for the shard's queries: written before
+	// the remaining counter's atomic decrement below, which is what publishes
+	// the shard to the settling goroutine — same ordering q.result already
+	// relies on.
+	for _, q := range dropped {
+		q.err = ErrExpired
+		s.metrics.expiredDropped.Add(1)
+	}
 	for _, q := range t.shard {
 		q.computeStart, q.computeEnd = start, end
+		if err != nil && q.err == nil {
+			q.err = err
+		}
+	}
+	if err != nil {
+		s.metrics.workerPanics.Add(1)
+		s.noteShardFailure()
+	} else {
+		s.noteShardOK()
 	}
 
 	last := t.job.remaining.Add(-1) == 0
@@ -145,6 +293,12 @@ func (d *scheduler) run(t *task, wk *worker) {
 		d.finish(t.job)
 	}
 	d.mu.Lock()
+	for i, a := range d.active {
+		if a == t {
+			d.active = append(d.active[:i], d.active[i+1:]...)
+			break
+		}
+	}
 	d.free = append(d.free, wk)
 	d.running--
 	if last {
@@ -152,6 +306,54 @@ func (d *scheduler) run(t *task, wk *worker) {
 	}
 	d.mu.Unlock()
 	d.notify()
+}
+
+// execute runs one shard's compute under the panic barrier, with the
+// injectable fault points threaded through: an injected panic takes exactly
+// the recovery path a real kernel panic would, an injected stall parks the
+// goroutine until the watchdog (or a test) releases it, and an injected
+// slow-compute sleeps long enough to exercise degradation. Queries whose SLO
+// already expired are skipped here — at the moment a worker would start
+// paying for them — when Config.DropExpired is set, and returned for run()
+// to answer with ErrExpired once it owns the shard. execute itself writes no
+// shared query state: ownership of the queries is decided by run()'s state
+// CAS, and a shard the watchdog has abandoned may still be executing here.
+func (d *scheduler) execute(t *task, wk *worker) (dropped []*query, err error) {
+	s := d.srv
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%w: %v", ErrWorkerPanic, r)
+			// The panic unwound mid-inference; the arena holds a partial
+			// frame. Reset it so the worker is reusable.
+			wk.arena.Reset()
+		}
+	}()
+	if faults.Should(faults.WorkerPanic) {
+		panic("injected worker panic")
+	}
+	if delay := faults.Delay(faults.SlowCompute); delay > 0 {
+		time.Sleep(delay)
+	}
+	if faults.Stall(faults.ShardStall, t.abandon) && t.state.Load() == taskAbandoned {
+		// Released because the watchdog gave up on us; don't compute.
+		return nil, nil
+	}
+	shard := t.shard
+	if s.cfg.DropExpired {
+		alive := make([]*query, 0, len(shard))
+		for _, q := range shard {
+			if s.clock.Now().Sub(q.enqueued) > s.cfg.SLO {
+				dropped = append(dropped, q)
+				continue
+			}
+			alive = append(alive, q)
+		}
+		shard = alive
+	}
+	if len(shard) > 0 {
+		wk.run(shard, t.job.decision.Rate, s.cfg.InputShape)
+	}
+	return dropped, nil
 }
 
 // finish folds a completed window back into the server: the calibrator
@@ -168,9 +370,15 @@ func (d *scheduler) finish(job *batchJob) {
 	s.settle(job, workerBusy)
 }
 
+// newWorker builds a replacement worker over the server's shared weight set.
+func (s *Server) newWorker() *worker {
+	return &worker{shared: s.shared, arena: tensor.NewArena()}
+}
+
 // runBatchOn splits a batch into contiguous shards, one per given worker,
 // and runs them all concurrently — the full-pool fast path the startup
-// calibration times.
+// calibration times. No fault points fire here: calibration measures the
+// hardware, not the chaos harness.
 func runBatchOn(workers []*worker, queries []*query, rate float64, inputShape []int) {
 	n := len(queries)
 	w := min(len(workers), n)

@@ -32,6 +32,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"modelslicing/internal/faults"
 	"modelslicing/internal/nn"
 	"modelslicing/internal/obs"
 	"modelslicing/internal/serving"
@@ -39,7 +40,8 @@ import (
 	"modelslicing/internal/tensor"
 )
 
-// Errors returned by Submit.
+// Errors returned by Submit, or carried in a Result's Err field when a
+// query was accepted but its shard failed.
 var (
 	// ErrOverloaded signals admission control: the deadline slack left
 	// after the work already queued and in flight cannot absorb another
@@ -48,6 +50,16 @@ var (
 	ErrOverloaded = errors.New("server: overloaded, backlog exceeds lower-bound capacity")
 	// ErrStopped signals a query submitted during or after shutdown.
 	ErrStopped = errors.New("server: stopped")
+	// ErrWorkerPanic is the Result error for queries whose shard panicked
+	// mid-compute; the panic was recovered, the rest of the window is
+	// unaffected, and the server keeps serving.
+	ErrWorkerPanic = errors.New("server: worker panicked")
+	// ErrShardStuck is the Result error for queries whose shard the
+	// watchdog declared stuck and abandoned (the worker was replaced).
+	ErrShardStuck = errors.New("server: shard stuck")
+	// ErrExpired is the Result error for queries dropped at dispatch
+	// because their SLO deadline had already passed (Config.DropExpired).
+	ErrExpired = errors.New("server: deadline already expired, query dropped")
 )
 
 // Config parameterizes a live server.
@@ -93,6 +105,25 @@ type Config struct {
 	// before startup calibration, so the measured t(r) reflects the engine
 	// that will serve traffic.
 	Tier string
+	// StuckAfter is the watchdog bound: a shard executing longer than this
+	// is abandoned — its queries answered with ErrShardStuck, its worker
+	// written off and replaced — so one wedged kernel cannot hold windows
+	// hostage forever. Zero defaults to 8·SLO (far past any feasible
+	// batch); negative disables the watchdog.
+	StuckAfter time.Duration
+	// DropExpired drops queries whose SLO deadline has already passed at
+	// the moment a worker would start computing them: they receive
+	// ErrExpired instead of a late answer, and the worker's time goes to
+	// queries that can still be saved. Off by default — the reply contract
+	// changes from a late output to an error, which not every client
+	// prefers.
+	DropExpired bool
+	// CircuitThreshold is how many consecutive shard failures (panics or
+	// watchdog-detected stalls) trip the brownout circuit: while open, the
+	// rate is pinned to the floor and admission sheds at half its budget;
+	// the circuit closes once a shard succeeds and the backlog horizon has
+	// drained. Zero defaults to 3; negative disables the circuit.
+	CircuitThreshold int
 	// AccuracyAt maps a rate to its measured accuracy for quality
 	// accounting; nil disables it.
 	AccuracyAt func(r float64) float64
@@ -123,8 +154,16 @@ type Config struct {
 
 // Result is the answer to one query.
 type Result struct {
-	// Output is the model output for the sample (e.g. class logits).
+	// Output is the model output for the sample (e.g. class logits); nil
+	// when Err is set.
 	Output *tensor.Tensor
+	// Err is non-nil when the query was accepted but not answered with an
+	// output: its shard panicked (ErrWorkerPanic), was abandoned by the
+	// watchdog (ErrShardStuck), its deadline expired before compute
+	// (ErrExpired), or the server shut down around it (ErrStopped). The
+	// one-reply contract holds either way: every Submit channel receives
+	// exactly one Result.
+	Err error
 	// Rate is the slice rate the query's batch was served at.
 	Rate float64
 	// Latency is submission-to-completion time. It includes any queueing
@@ -149,6 +188,7 @@ type query struct {
 	enqueued time.Time
 	done     chan Result
 	result   *tensor.Tensor
+	err      error // shard failure or deadline drop; set by whoever owns the shard
 
 	windowClose  time.Time // stamped when the query's T/2 window closes
 	computeStart time.Time // stamped when its shard leaves the work queue
@@ -197,6 +237,13 @@ type Server struct {
 	inflight int             // queries dispatched but not yet answered
 	backlog  serving.Backlog // estimated completion horizon of dispatched work
 	stopping bool
+	// Brownout circuit: circuitFails counts consecutive failed shards
+	// (panic or stuck); at CircuitThreshold the circuit opens — the rate is
+	// pinned to the floor and admission sheds at half budget — and it
+	// closes again once a shard has succeeded (circuitFails back to 0) and
+	// the backlog horizon has drained past the current window close.
+	circuitOpen  bool
+	circuitFails int
 
 	sched    *scheduler
 	quit     chan struct{}
@@ -239,6 +286,12 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.Headroom == 0 {
 		cfg.Headroom = 1
+	}
+	if cfg.StuckAfter == 0 {
+		cfg.StuckAfter = 8 * cfg.SLO
+	}
+	if cfg.CircuitThreshold == 0 {
+		cfg.CircuitThreshold = 3
 	}
 	if cfg.Clock == nil {
 		cfg.Clock = realClock{}
@@ -391,11 +444,45 @@ func (s *Server) admissionLimit(now time.Time) int {
 	if budget <= 0 {
 		return 0
 	}
-	limit := s.cfg.QueueFactor * float64(s.policy.CapacityWithin(s.minRate(), budget))
+	factor := s.cfg.QueueFactor
+	if s.circuitOpen {
+		// Brownout: with the circuit open the pool is demonstrably not
+		// delivering its calibrated throughput, so shed at half the normal
+		// budget instead of trusting the model all the way to the edge.
+		factor *= 0.5
+	}
+	limit := factor * float64(s.policy.CapacityWithin(s.minRate(), budget))
 	if limit >= float64(math.MaxInt) {
 		return math.MaxInt
 	}
 	return max(int(limit), 1)
+}
+
+// noteShardFailure feeds the brownout circuit: consecutive shard failures
+// (panics, watchdog-abandoned stalls) past CircuitThreshold open it.
+func (s *Server) noteShardFailure() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.circuitFails++
+	if s.cfg.CircuitThreshold > 0 && !s.circuitOpen && s.circuitFails >= s.cfg.CircuitThreshold {
+		s.circuitOpen = true
+		s.metrics.circuitTrips.Add(1)
+	}
+}
+
+// noteShardOK resets the consecutive-failure count; the circuit itself
+// closes at the next window close, once the backlog horizon has drained.
+func (s *Server) noteShardOK() {
+	s.mu.Lock()
+	s.circuitFails = 0
+	s.mu.Unlock()
+}
+
+// CircuitOpen reports whether the brownout circuit is currently open.
+func (s *Server) CircuitOpen() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.circuitOpen
 }
 
 // Submit enqueues one sample for the next window. The returned channel
@@ -439,13 +526,16 @@ func shapeOf(x *tensor.Tensor) []int {
 	return x.Shape
 }
 
-// Predict is the blocking convenience wrapper: Submit plus wait.
+// Predict is the blocking convenience wrapper: Submit plus wait. A query
+// that was accepted but failed (shard panic, watchdog abandonment, expired
+// deadline) returns its Result with the failure repeated as the error.
 func (s *Server) Predict(x *tensor.Tensor) (Result, error) {
 	ch, err := s.Submit(x)
 	if err != nil {
 		return Result{}, err
 	}
-	return <-ch, nil
+	res := <-ch
+	return res, res.Err
 }
 
 // QueueDepth reports the number of queries waiting for the next window.
@@ -471,7 +561,14 @@ func (s *Server) Stats() Stats {
 	st.QueueDepth = len(s.pending)
 	st.InFlightQueries = s.inflight
 	st.BacklogSeconds = s.backlog.Ahead(s.sinceStart(now))
+	st.CircuitOpen = s.circuitOpen
 	s.mu.Unlock()
+	if fired := faults.Counts(); len(fired) > 0 {
+		st.FaultsFired = make(map[string]int64, len(fired))
+		for p, n := range fired {
+			st.FaultsFired[string(p)] = n
+		}
+	}
 	st.BacklogWindows = s.sched.depth()
 	st.SampleTimes = s.cal.Snapshot()
 	es := s.shared.Stats()
@@ -526,6 +623,11 @@ func (s *Server) batchLoop() {
 			s.sched.shutdown()
 			return
 		case <-ticks:
+			// The watchdog rides the window ticker: one scan per T/2 on
+			// the injected clock, so fake-clock tests drive it
+			// deterministically and an idle server still notices a wedged
+			// shard.
+			s.sched.scanStuck(s.clock.Now())
 			s.closeWindow()
 			// Non-blocking token for tests that must know the window
 			// decision has been taken before they act on the next window.
@@ -547,6 +649,12 @@ func (s *Server) closeWindow() {
 	// indices in lockstep runs.
 	seq := s.winSeq
 	s.winSeq++
+	// Circuit recovery: a shard has succeeded since the trip (fails reset)
+	// and the backlog horizon has drained past this close — the brownout
+	// ladder's floor is no longer needed.
+	if s.circuitOpen && s.circuitFails == 0 && s.backlog.Ahead(s.sinceStart(now)) == 0 {
+		s.circuitOpen = false
+	}
 	batch := s.pending
 	s.pending = nil
 	if len(batch) == 0 {
@@ -579,6 +687,16 @@ func (s *Server) decide(n int, oldest, now time.Time) serving.Decision {
 	if s.cfg.FixedRate > 0 {
 		return s.backlog.DecideRate(s.policy, n, s.cfg.FixedRate, deadline, nowF)
 	}
+	if s.circuitOpen {
+		// Brownout floor: consecutive shard failures mean the calibrated
+		// t(r) cannot be trusted, so serve at the cheapest rate — the
+		// guaranteed floor of the degradation ladder — until the circuit
+		// closes. Horizon bookkeeping is unchanged, so recovery rides the
+		// normal backlog drain.
+		d := s.backlog.DecideRate(s.policy, n, s.minRate(), deadline, nowF)
+		d.Circuit = true
+		return d
+	}
 	return s.backlog.Decide(s.policy, n, deadline, nowF)
 }
 
@@ -599,7 +717,7 @@ func (s *Server) settle(job *batchJob, workerBusy time.Duration) {
 	s.mu.Unlock()
 
 	now := s.clock.Now()
-	misses := int64(0)
+	misses, failed := int64(0), int64(0)
 	for _, q := range job.queries {
 		latency := now.Sub(q.enqueued)
 		miss := latency > s.cfg.SLO
@@ -608,8 +726,7 @@ func (s *Server) settle(job *batchJob, workerBusy time.Duration) {
 		}
 		s.tracer.Observe(job.decision.Rate, job.window,
 			q.enqueued, q.windowClose, q.computeStart, q.computeEnd, now)
-		q.done <- Result{
-			Output:   q.result,
+		res := Result{
 			Rate:     job.decision.Rate,
 			Latency:  latency,
 			SLOMiss:  miss,
@@ -618,8 +735,19 @@ func (s *Server) settle(job *batchJob, workerBusy time.Duration) {
 			Compute:  q.computeEnd.Sub(q.computeStart),
 			Settle:   now.Sub(q.computeEnd),
 		}
+		// A failed query carries its error and no output. q.result is not
+		// read on this path: an abandoned shard's zombie worker may still
+		// be writing it, and the error outcome is already decided.
+		if q.err != nil {
+			res.Err = q.err
+			failed++
+		} else {
+			res.Output = q.result
+		}
+		q.done <- res
 	}
 	s.metrics.sloMisses.Add(misses)
+	s.metrics.failedQueries.Add(failed)
 	acc, haveAcc := 0.0, false
 	if s.cfg.AccuracyAt != nil {
 		acc, haveAcc = s.cfg.AccuracyAt(job.decision.Rate), true

@@ -76,16 +76,26 @@ type Decision struct {
 	// Start and Completion bound the batch's estimated execution on the
 	// work-conserving timeline.
 	Start, Completion float64
+	// Circuit marks a window whose rate was pinned to the floor by an open
+	// fault circuit (consecutive shard failures), not by the backlog
+	// arithmetic. Set by the live server; the clock-free simulation never
+	// trips it.
+	Circuit bool
 }
 
 // Reason names the decision's outcome for the flight recorder: "ok" when
-// the batch fits its budget at the chosen rate, "backlog-degraded" when
-// backlog cost the window rate (it still meets its deadline, lower),
-// "backlog-infeasible" when backlog cost it feasibility (an empty pool
-// would have served it in time), and "overrun" when the batch alone exceeds
-// its budget at every rate — no scheduler could have saved it.
+// the batch fits its budget at the chosen rate, "circuit-pinned" when an
+// open fault circuit pinned a feasible window to the rate floor,
+// "backlog-degraded" when backlog cost the window rate (it still meets its
+// deadline, lower), "backlog-infeasible" when backlog cost it feasibility
+// (an empty pool would have served it in time), and "overrun" when the
+// batch alone exceeds its budget at every rate — no scheduler could have
+// saved it. An infeasible window under an open circuit keeps the backlog
+// spelling: the circuit explains the rate, not the miss.
 func (d Decision) Reason() string {
 	switch {
+	case d.Circuit && d.Feasible:
+		return "circuit-pinned"
 	case d.Feasible && !d.Degraded:
 		return "ok"
 	case d.Feasible:
@@ -116,6 +126,7 @@ func (d Decision) Record(p Policy, window int64, arrivals int, now float64) obs.
 		Work:       d.Work,
 		Start:      d.Start,
 		Completion: d.Completion,
+		Circuit:    d.Circuit,
 		Reason:     d.Reason(),
 	}
 }
