@@ -12,14 +12,20 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
 	"math/rand"
+	"net/http/httptest"
+	"os"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"modelslicing/internal/demo"
+	"modelslicing/internal/fleet"
+	"modelslicing/internal/models"
 	"modelslicing/internal/server"
 	"modelslicing/internal/serving"
 	"modelslicing/internal/slicing"
@@ -38,10 +44,15 @@ func main() {
 	live := flag.Bool("live", false, "drive the real concurrent server instead of the simulation")
 	liveSLO := flag.Duration("live-slo", 20*time.Millisecond, "latency SLO T for -live")
 	liveWindows := flag.Int("live-windows", 120, "scheduling windows per arm for -live")
+	fleetN := flag.Int("fleet", 0, "route the trace through a coordinator over N in-process replicas (0 = single node)")
 	flag.Parse()
 
 	if *live {
 		runLive(*liveSLO, *liveWindows, *peak, *burst, *lb, *gran, *seed)
+		return
+	}
+	if *fleetN > 0 {
+		runFleet(*fleetN, *windows, *base, *peak, *burst, *slo, *sample, *lb, *gran, *seed)
 		return
 	}
 
@@ -197,6 +208,180 @@ func runLive(slo time.Duration, windows int, peakRatio, burstProb, lb float64, g
 	fmt.Printf("\nsimulation on the same trace and calibrated curve: violations %d (%.2f%%), degraded windows %d, mean rate %.3f, accuracy %.2f%%\n",
 		sim.SLOViolations, 100*float64(sim.SLOViolations)/float64(max(sim.Processed, 1)),
 		sim.DegradedWindows, sim.MeanRate, 100*sim.WeightedAccuracy)
+}
+
+// runFleet replays the diurnal trace through the scale-out path twice: once
+// through the clock-free fleet simulation (serving.SimulateFleet) and once
+// through a live fleet.Coordinator routing real HTTP queries over N
+// in-process replicas on fake clocks — the cluster-level analogue of the
+// single-node lockstep tests. One abstract time unit maps to one second on
+// the fake clocks, so both runs execute numerically identical Equation-3
+// arithmetic and should agree exactly.
+func runFleet(n, windows int, base, peak, burst, sloU, sample, lb float64, gran int, seed int64) {
+	rates := slicing.NewRateList(lb, gran)
+	cfg := serving.Config{
+		LatencySLO:     sloU,
+		FullSampleTime: sample,
+		Rates:          rates,
+		AccuracyAt:     func(r float64) float64 { return 0.916 + 0.027*r },
+	}
+	rng := rand.New(rand.NewSource(seed))
+	arrivals := serving.DiurnalWorkload(windows, base, peak, burst, 1.5, rng)
+
+	sim := serving.SimulateFleet(cfg, n, arrivals)
+	fmt.Printf("workload: %d windows over %d replicas, %d queries\n", windows, n, sim.Processed)
+	fmt.Printf("\nfleet simulation (greedy Equation-3 routing):\n")
+	fmt.Printf("  processed %d queries, SLO violations %d (%.2f%%), infeasible windows %d, backlog-degraded windows %d\n",
+		sim.Processed, sim.SLOViolations,
+		100*float64(sim.SLOViolations)/float64(max(sim.Processed, 1)),
+		sim.InfeasibleWindows, sim.DegradedWindows)
+	fmt.Printf("  mean slice rate %.3f\n", sim.MeanRate)
+	for i, q := range sim.PerReplica {
+		fmt.Printf("  replica %d routed %6d queries (%.1f%%)\n",
+			i, q, 100*float64(q)/float64(max(sim.Processed, 1)))
+	}
+
+	fmt.Printf("\ndriving the same trace through a live coordinator over %d in-process replicas (fake clocks)...\n", n)
+	sloDur := time.Duration(sloU * float64(time.Second))
+	window := sloDur / 2
+	start := time.Unix(0, 0)
+	replicas := make([]*server.Server, n)
+	clocks := make([]*server.FakeClock, n)
+	urls := make([]string, n)
+	for i := range replicas {
+		clocks[i] = server.NewFakeClock(start)
+		srv, err := server.New(server.Config{
+			Model:      models.NewMLP(4, []int{8, 8}, 3, gran, rand.New(rand.NewSource(1))),
+			Rates:      rates,
+			InputShape: []int{4},
+			SLO:        sloDur,
+			Workers:    2,
+			Clock:      clocks[i],
+			SampleTime: func(r float64) float64 { return sample * r * r },
+			// Admission stays wide open: the coordinator's routing is the
+			// only throttle, exactly as in the simulation.
+			QueueFactor:       1e9,
+			MaxBacklogWindows: 1 << 30,
+		})
+		if err != nil {
+			panic(err)
+		}
+		defer srv.Stop()
+		replicas[i] = srv
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		urls[i] = ts.URL
+	}
+	cclk := server.NewFakeClock(start)
+	coord, err := fleet.New(fleet.Config{
+		SLO:        sloDur,
+		Clock:      cclk,
+		HedgeAfter: -1, // wall-time hedging has no place on a frozen clock
+		RetryBase:  -1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer coord.Stop()
+	for _, u := range urls {
+		if err := coord.AddReplica(u); err != nil {
+			panic(err)
+		}
+	}
+
+	inRng := rand.New(rand.NewSource(seed + 2))
+	liveHist := make(map[float64]int)
+	var errs, routeMismatches int
+	for k, nq := range arrivals {
+		routedBefore := fleetRouted(coord)
+		results := make(chan float64, nq)
+		var booked atomic.Int64
+		for j := 0; j < nq; j++ {
+			in := []float64{inRng.NormFloat64(), inRng.NormFloat64(), inRng.NormFloat64(), inRng.NormFloat64()}
+			go func() {
+				resp, err := coord.Predict(context.Background(), in)
+				if err != nil {
+					booked.Add(1)
+					results <- -1
+					return
+				}
+				results <- resp.Rate
+			}()
+		}
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			depth := int(booked.Load())
+			for _, r := range replicas {
+				depth += r.QueueDepth()
+			}
+			if depth == nq {
+				break
+			}
+			if time.Now().After(deadline) {
+				fmt.Fprintln(os.Stderr, "msserve: fleet window stalled; submissions never landed")
+				os.Exit(1)
+			}
+			time.Sleep(time.Millisecond)
+		}
+		routedNow := fleetRouted(coord)
+		for i := range routedNow {
+			if int(routedNow[i]-routedBefore[i]) != sim.Ticks[k].Routed[i] {
+				routeMismatches++
+				break
+			}
+		}
+		cclk.Advance(window)
+		for i := range clocks {
+			clocks[i].Tick(window)
+		}
+		for i := range replicas {
+			for replicas[i].Stats().Windows != int64(k+1) {
+				time.Sleep(time.Millisecond)
+			}
+		}
+		for j := 0; j < nq; j++ {
+			r := <-results
+			if r < 0 {
+				errs++
+				continue
+			}
+			liveHist[r]++
+		}
+	}
+
+	st := coord.Stats()
+	fmt.Printf("\nlive fleet: forwarded %d, errors %d, retries %d, hedges %d, shed %d\n",
+		st.Forwarded, errs, st.Retries, st.Hedges, st.Shed)
+	fmt.Println("per-rate traffic through the live coordinator:")
+	var sortedRates []float64
+	for r := range liveHist {
+		sortedRates = append(sortedRates, r)
+	}
+	sort.Float64s(sortedRates)
+	for _, r := range sortedRates {
+		fmt.Printf("  rate %.4g served %6d queries (%.1f%%)\n",
+			r, liveHist[r], 100*float64(liveHist[r])/float64(max(int(st.Forwarded), 1)))
+	}
+	histMatch := len(liveHist) == len(sim.RateHist)
+	for r, c := range sim.RateHist {
+		if liveHist[r] != c {
+			histMatch = false
+		}
+	}
+	fmt.Printf("\nlockstep with the fleet simulation: rate histogram match %v, per-window routing mismatches %d/%d\n",
+		histMatch, routeMismatches, windows)
+	if !histMatch || routeMismatches > 0 || errs > 0 {
+		os.Exit(1)
+	}
+}
+
+func fleetRouted(c *fleet.Coordinator) []int64 {
+	rs := c.Replicas()
+	out := make([]int64, len(rs))
+	for i, r := range rs {
+		out[i] = r.Routed
+	}
+	return out
 }
 
 // liveHeadroom derates the policy window in live mode: the load generator

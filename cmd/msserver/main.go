@@ -13,6 +13,15 @@
 //
 //	msserver -model demo
 //	curl -s localhost:8080/predict -d '{"input":[...16 floats...]}'
+//
+// With -coordinator the process serves no model at all: it fronts a fleet of
+// replicas (each a plain msserver), routing every query to the replica whose
+// backlog admits it at the highest slice rate, health-checking members, and
+// retrying or hedging around failures:
+//
+//	msserver -model demo -addr :8081 &
+//	msserver -model demo -addr :8082 &
+//	msserver -coordinator -replicas http://localhost:8081,http://localhost:8082 -addr :8080
 package main
 
 import (
@@ -24,12 +33,14 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"modelslicing/internal/data"
 	"modelslicing/internal/demo"
 	"modelslicing/internal/faults"
+	"modelslicing/internal/fleet"
 	"modelslicing/internal/models"
 	"modelslicing/internal/nn"
 	"modelslicing/internal/persist"
@@ -51,7 +62,14 @@ func main() {
 	traceSample := flag.Int("trace-sample", 16, "sample every k-th query's span into /debug/trace (negative disables the ring)")
 	dropExpired := flag.Bool("drop-expired", false, "answer queries whose SLO already expired with an error instead of computing them late")
 	seed := flag.Int64("seed", 1, "random seed")
+	coordinator := flag.Bool("coordinator", false, "front a fleet of replicas instead of serving a model (see -replicas)")
+	replicaList := flag.String("replicas", "", "comma-separated replica base URLs for -coordinator (more can join at runtime via POST /replicas)")
 	flag.Parse()
+
+	if *coordinator {
+		runCoordinator(*addr, *slo, *replicaList)
+		return
+	}
 
 	rng := rand.New(rand.NewSource(*seed))
 	rates := slicing.NewRateList(*lb, *gran)
@@ -166,6 +184,68 @@ func main() {
 	}
 	fmt.Printf("observability: /metrics (Prometheus), /debug/decisions (flight recorder), /debug/trace (Chrome trace, 1-in-%d queries), /debug/pprof/\n",
 		*traceSample)
+	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	<-done
+}
+
+// runCoordinator serves the fleet front end: no model, no engine — just the
+// slice-aware router over the given replicas. Replicas that cannot be reached
+// at startup are skipped with a warning (they can join later via
+// POST /replicas once they come up); at least one must join.
+func runCoordinator(addr string, slo time.Duration, replicaList string) {
+	coord, err := fleet.New(fleet.Config{SLO: slo})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	joined := 0
+	for _, u := range strings.Split(replicaList, ",") {
+		u = strings.TrimSpace(u)
+		if u == "" {
+			continue
+		}
+		if err := coord.AddReplica(u); err != nil {
+			fmt.Fprintf(os.Stderr, "msserver: replica %s did not join: %v\n", u, err)
+			continue
+		}
+		fmt.Printf("replica joined: %s\n", u)
+		joined++
+	}
+	if joined == 0 {
+		fmt.Fprintln(os.Stderr, "msserver: -coordinator needs at least one reachable replica (-replicas http://host:port,...)")
+		os.Exit(1)
+	}
+
+	httpSrv := &http.Server{
+		Addr:              addr,
+		Handler:           coord.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      max(60*time.Second, 10*slo),
+		IdleTimeout:       120 * time.Second,
+		MaxHeaderBytes:    1 << 20,
+	}
+	done := make(chan struct{})
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		fmt.Println("\nshutting down...")
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(ctx)
+		coord.Stop()
+		close(done)
+	}()
+
+	fmt.Printf("coordinating %d replicas on %s (SLO %s)\n", joined, addr, slo)
+	if armed := faults.Summary(); armed != "" {
+		fmt.Printf("WARNING: fault injection armed via MS_FAULTS: %s\n", armed)
+	}
+	fmt.Println("endpoints: /predict (fleet-routed), /metrics, /healthz, /replicas (GET status, POST join/leave)")
 	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -57,16 +57,34 @@ const (
 	CalibrationSkew Point = "calibration-skew"
 	// DiskError fails checkpoint saves and loads in internal/persist.
 	DiskError Point = "disk-error"
+	// NetDrop drops one coordinator→replica HTTP request on the floor (the
+	// RoundTripper returns a connection error before any bytes move),
+	// exercising the fleet's retry-on-a-different-replica path.
+	NetDrop Point = "net-drop"
+	// NetDelay stalls one coordinator→replica HTTP request by
+	// NetDelayDuration before it is sent, exercising the hedging path and
+	// tail-latency accounting.
+	NetDelay Point = "net-delay"
+	// ReplicaDown fails coordinator→replica requests as if the replica's
+	// host were unreachable, exercising health-check ejection and rejoin.
+	// Fleet tests usually target one replica through
+	// fleet.Transport.SetDown instead of arming this process-wide.
+	ReplicaDown Point = "replica-down"
 )
 
 // Points lists every registered fault point, in a stable order.
 func Points() []Point {
-	return []Point{WorkerPanic, ShardStall, SlowCompute, CalibrationSkew, DiskError}
+	return []Point{WorkerPanic, ShardStall, SlowCompute, CalibrationSkew, DiskError,
+		NetDrop, NetDelay, ReplicaDown}
 }
 
 // SlowComputeDelay is how long an injected slow-compute fault delays a shard.
 // Set it before arming the point; it is read without synchronization.
 var SlowComputeDelay = 10 * time.Millisecond
+
+// NetDelayDuration is how long an injected net-delay fault stalls a request.
+// Set it before arming the point; it is read without synchronization.
+var NetDelayDuration = 5 * time.Millisecond
 
 // mode is one point's firing rule.
 type mode struct {
@@ -269,14 +287,17 @@ func ErrOn(p Point) error {
 	return nil
 }
 
-// Delay returns how long the site should sleep: SlowComputeDelay when the
-// point fires, zero otherwise. The site owns the actual sleep so it can use
-// its own clock.
+// Delay returns how long the site should sleep when the point fires
+// (NetDelayDuration for net-delay, SlowComputeDelay otherwise), zero when it
+// does not. The site owns the actual sleep so it can use its own clock.
 func Delay(p Point) time.Duration {
-	if Should(p) {
-		return SlowComputeDelay
+	if !Should(p) {
+		return 0
 	}
-	return 0
+	if p == NetDelay {
+		return NetDelayDuration
+	}
+	return SlowComputeDelay
 }
 
 // Stall blocks when the point fires, until the point is disarmed

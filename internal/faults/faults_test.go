@@ -162,3 +162,20 @@ func TestCountsSurviveDisable(t *testing.T) {
 		t.Fatalf("counts after reset %v, want empty", c)
 	}
 }
+
+// The fleet transport points arm through the same MS_FAULTS spelling as the
+// engine points, and net-delay resolves to its own tunable duration.
+func TestNetworkFaultPointsSpelling(t *testing.T) {
+	defer Reset()
+	if err := Set("net-drop=on,net-delay=on,replica-down=on"); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []Point{NetDrop, NetDelay, ReplicaDown} {
+		if !Active(p) || !Should(p) {
+			t.Fatalf("point %s did not arm", p)
+		}
+	}
+	if d := Delay(NetDelay); d != NetDelayDuration {
+		t.Fatalf("Delay(NetDelay) = %v, want NetDelayDuration %v", d, NetDelayDuration)
+	}
+}

@@ -1,0 +1,342 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"modelslicing/internal/faults"
+	"modelslicing/internal/models"
+	"modelslicing/internal/server"
+	"modelslicing/internal/slicing"
+)
+
+// liveReplica runs one replica on the real clock with a short SLO and a
+// pinned tiny t(r), so chaos tests turn windows over quickly without
+// calibration noise.
+func liveReplica(t *testing.T) (*server.Server, *httptest.Server) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	s, err := server.New(server.Config{
+		Model:           models.NewMLP(4, []int{8, 8}, 3, 4, rng),
+		Rates:           slicing.NewRateList(0.25, 4),
+		InputShape:      []int{4},
+		SLO:             200 * time.Millisecond,
+		Workers:         2,
+		SampleTime:      func(r float64) float64 { return 0.002 * r * r },
+		DrainSweepEvery: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Stop)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// liveFleet assembles n live replicas behind a coordinator with aggressive
+// health checking, wired through a chaos Transport. mutate adjusts the
+// coordinator config before construction.
+func liveFleet(t *testing.T, n int, mutate func(*Config)) (*Coordinator, *Transport, []string) {
+	t.Helper()
+	tr := &Transport{}
+	cfg := Config{
+		SLO:           200 * time.Millisecond,
+		Transport:     tr,
+		HealthEvery:   15 * time.Millisecond,
+		FailThreshold: 2,
+		RejoinAfter:   1,
+		RetryMax:      3,
+		RetryBase:     -1, // immediate retries keep chaos tests fast
+		HedgeAfter:    -1,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	coord, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(coord.Stop)
+	urls := make([]string, n)
+	for i := range urls {
+		_, ts := liveReplica(t)
+		urls[i] = ts.URL
+		if err := coord.AddReplica(ts.URL); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return coord, tr, urls
+}
+
+func hostOf(url string) string { return strings.TrimPrefix(url, "http://") }
+
+// drive pushes total queries through the fleet from conc workers and returns
+// (successes, failures). Every call to Predict must return exactly once;
+// the returned counts summing to total is the fleet-level one-reply
+// contract.
+func drive(t *testing.T, c *Coordinator, total, conc int) (int64, int64) {
+	t.Helper()
+	var ok, fail atomic.Int64
+	var wg sync.WaitGroup
+	per := (total + conc - 1) / conc
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for j := 0; j < per && w*per+j < total; j++ {
+				resp, err := c.Predict(context.Background(), inputVec(int64(w*per+j)))
+				if err != nil {
+					fail.Add(1)
+					continue
+				}
+				if len(resp.Output) != 3 {
+					t.Errorf("success reply with bad output %v", resp.Output)
+				}
+				ok.Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	return ok.Load(), fail.Load()
+}
+
+// TestFleetChaosReplicaDownEjectRerouteRejoin is the tentpole scenario: a
+// replica dies mid-trace. Every query still gets exactly one reply (the
+// coordinator retries transient failures on different replicas), the dead
+// replica is ejected within the health-check window and stops receiving
+// traffic, and when it comes back it rejoins and serves again.
+func TestFleetChaosReplicaDownEjectRerouteRejoin(t *testing.T) {
+	if netFaultsArmed() {
+		t.Skip("network fault injection armed; the zero-loss assertions assume only the targeted replica fails")
+	}
+	coord, tr, urls := liveFleet(t, 3, nil)
+
+	// Healthy warm-up: everything answers.
+	ok, fail := drive(t, coord, 30, 6)
+	if ok != 30 || fail != 0 {
+		t.Fatalf("healthy fleet: %d ok, %d failed, want 30/0", ok, fail)
+	}
+
+	// Kill replica 0 (connection refused on every request).
+	tr.SetDown(hostOf(urls[0]), true)
+	ok, fail = drive(t, coord, 60, 6)
+	if ok != 60 || fail != 0 {
+		t.Fatalf("one replica down: %d ok, %d failed, want 60/0 (retries must absorb the loss)", ok, fail)
+	}
+	if retries := coord.Stats().Retries; retries == 0 {
+		t.Fatal("no retries recorded while a replica was refusing traffic")
+	}
+	waitFor(t, "dead replica ejection", func() bool {
+		return coord.Replicas()[0].Ejected
+	})
+
+	// Ejected replicas receive no traffic at all.
+	routedAtEject := coord.Replicas()[0].Routed
+	ok, fail = drive(t, coord, 40, 6)
+	if ok != 40 || fail != 0 {
+		t.Fatalf("post-ejection: %d ok, %d failed, want 40/0", ok, fail)
+	}
+	if got := coord.Replicas()[0].Routed; got != routedAtEject {
+		t.Fatalf("ejected replica received traffic: routed %d → %d", routedAtEject, got)
+	}
+
+	// Recovery: the replica comes back, the health poller readmits it, and
+	// routing uses it again.
+	tr.SetDown(hostOf(urls[0]), false)
+	waitFor(t, "replica rejoin", func() bool {
+		st := coord.Replicas()[0]
+		return !st.Ejected && st.Rejoins >= 1
+	})
+	ok, fail = drive(t, coord, 40, 6)
+	if ok != 40 || fail != 0 {
+		t.Fatalf("post-rejoin: %d ok, %d failed, want 40/0", ok, fail)
+	}
+	if got := coord.Replicas()[0].Routed; got <= routedAtEject {
+		t.Fatalf("rejoined replica got no traffic: routed stuck at %d", got)
+	}
+	if st := coord.Stats(); st.Ejections < 1 || st.Rejoins < 1 {
+		t.Fatalf("ejections=%d rejoins=%d, want ≥1 each", st.Ejections, st.Rejoins)
+	}
+}
+
+// TestFleetChaosHedgeStraggler pins the hedging path: one replica stalls
+// far past the hedge delay, so the coordinator launches a second copy on
+// the healthy replica and the first reply wins — the query is answered fast
+// and exactly once.
+func TestFleetChaosHedgeStraggler(t *testing.T) {
+	if netFaultsArmed() {
+		t.Skip("network fault injection armed; targeted hedge accounting is not deterministic")
+	}
+	coord, tr, urls := liveFleet(t, 2, func(cfg *Config) {
+		cfg.HedgeAfter = 25 * time.Millisecond
+	})
+	// Replica 0 wins the empty-fleet tie-break, and every request to it
+	// stalls for most of the predict timeout.
+	tr.SetDelay(hostOf(urls[0]), 600*time.Millisecond)
+
+	for j := 0; j < 4; j++ {
+		resp, err := coord.Predict(context.Background(), inputVec(int64(j)))
+		if err != nil {
+			t.Fatalf("hedged predict %d: %v", j, err)
+		}
+		if len(resp.Output) != 3 {
+			t.Fatalf("bad output %v", resp.Output)
+		}
+	}
+	st := coord.Stats()
+	if st.Hedges == 0 || st.HedgeWins == 0 {
+		t.Fatalf("hedges=%d hedgeWins=%d, want both > 0", st.Hedges, st.HedgeWins)
+	}
+	if st.Forwarded != 4 {
+		t.Fatalf("forwarded %d, want 4 (exactly one reply per query)", st.Forwarded)
+	}
+}
+
+// TestFleetChaosNetworkFaultsOneReply arms the probabilistic network points
+// (the CI soak configuration arms them process-wide instead) and hammers
+// the fleet: drops and delays on the coordinator→replica path must never
+// cost a query its reply — every Predict returns exactly once, and the
+// overwhelming majority still succeed via retry.
+func TestFleetChaosNetworkFaultsOneReply(t *testing.T) {
+	if !netFaultsArmed() {
+		faults.NetDelayDuration = 2 * time.Millisecond
+		if err := faults.Set("net-drop=p0.1,net-delay=p0.2"); err != nil {
+			t.Fatal(err)
+		}
+		// Restore whatever the environment had armed (the soak's setting,
+		// or nothing) so later tests see the configuration they expect.
+		t.Cleanup(func() { _ = faults.Set(os.Getenv("MS_FAULTS")) })
+	}
+	coord, _, _ := liveFleet(t, 3, func(cfg *Config) {
+		cfg.RetryMax = 5
+		cfg.FailThreshold = 4
+	})
+	const total = 120
+	ok, fail := drive(t, coord, total, 8)
+	if ok+fail != total {
+		t.Fatalf("reply contract broken: %d ok + %d failed != %d submitted", ok, fail, total)
+	}
+	if ok < total/2 {
+		t.Fatalf("only %d/%d queries survived the network chaos; retries are not absorbing drops", ok, total)
+	}
+	if coord.Stats().Retries == 0 && faults.Fired(faults.NetDrop) > 0 {
+		t.Fatal("drops fired but no retries recorded")
+	}
+}
+
+// TestFleetHTTPSurface covers the coordinator's own endpoints: runtime
+// join/leave over POST /replicas, the query path, and the fleet fields on
+// /metrics and /healthz.
+func TestFleetHTTPSurface(t *testing.T) {
+	if netFaultsArmed() {
+		t.Skip("network fault injection armed; exact counter assertions are not deterministic")
+	}
+	coord, _, urls := liveFleet(t, 1, nil)
+	_, extra := liveReplica(t)
+	front := httptest.NewServer(coord.Handler())
+	t.Cleanup(front.Close)
+
+	post := func(path, body string) *http.Response {
+		t.Helper()
+		resp, err := http.Post(front.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	// Join the second replica at runtime.
+	resp := post("/replicas", `{"op":"join","url":"`+extra.URL+`"}`)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("join: status %d", resp.StatusCode)
+	}
+
+	// Query through the coordinator with the single-node wire format.
+	body, _ := json.Marshal(server.PredictRequest{Input: inputVec(42)})
+	resp = post("/predict", string(body))
+	var out server.PredictResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(out.Output) != 3 {
+		t.Fatalf("predict through coordinator: status %d output %v", resp.StatusCode, out.Output)
+	}
+
+	// Malformed input relays the replica's 400.
+	resp = post("/predict", `{"input":[1,2]}`)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad input through coordinator: status %d, want 400", resp.StatusCode)
+	}
+
+	resp, err := http.Get(front.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	_, _ = buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	text := buf.String()
+	for _, w := range []string{
+		"msfleet_forwarded_total 1",
+		"msfleet_retries_total",
+		"msfleet_hedges_total",
+		"msfleet_ejections_total",
+		"msfleet_rejoins_total",
+		"msfleet_shed_total",
+		`msfleet_replica_up{replica="` + urls[0] + `"} 1`,
+		`msfleet_replica_routed_total{replica="` + urls[0] + `"}`,
+		"msfleet_query_latency_seconds_count 1",
+	} {
+		if !strings.Contains(text, w) {
+			t.Fatalf("fleet metrics missing %q:\n%s", w, text)
+		}
+	}
+
+	var health struct {
+		Replicas int `json:"replicas"`
+		Live     int `json:"live_replicas"`
+	}
+	resp, err = http.Get(front.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if health.Replicas != 2 || health.Live != 2 {
+		t.Fatalf("healthz %+v, want 2 replicas / 2 live", health)
+	}
+
+	// Leave at runtime; the member is tombstoned out of rotation.
+	resp = post("/replicas", `{"op":"leave","url":"`+extra.URL+`"}`)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("leave: status %d", resp.StatusCode)
+	}
+	resp, err = http.Get(front.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if health.Replicas != 1 || health.Live != 1 {
+		t.Fatalf("healthz after leave %+v, want 1/1", health)
+	}
+}

@@ -1,0 +1,394 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+
+	"modelslicing/internal/server"
+	"modelslicing/internal/serving"
+	"modelslicing/internal/slicing"
+)
+
+// Errors returned by Predict.
+var (
+	// ErrNoReplicas means no replica is in rotation at all — the fleet is
+	// empty, or every member is ejected.
+	ErrNoReplicas = errors.New("fleet: no replica in rotation")
+	// ErrSaturated means every reachable replica shed the query: the whole
+	// fleet is saturated, the only condition under which the coordinator
+	// itself sheds.
+	ErrSaturated = errors.New("fleet: all replicas saturated")
+)
+
+// Config parameterizes a coordinator.
+type Config struct {
+	// SLO is the fleet latency bound T; it should match the replicas'. The
+	// T/2 routing window and every default below derive from it.
+	SLO time.Duration
+	// Headroom derates routing deadline slack exactly as the replicas
+	// derate theirs; it should match the replicas' setting. 0 means 1.
+	Headroom float64
+	// Transport carries coordinator→replica requests; nil means a fresh
+	// fleet.Transport over http.DefaultTransport (tests inject their own to
+	// partition replicas).
+	Transport http.RoundTripper
+	// Clock supplies time; nil means the wall clock. The lockstep test
+	// injects a server.FakeClock and advances it window by window.
+	Clock server.Clock
+	// HealthEvery is the health-poll interval (GET /state per replica).
+	// Default SLO/2 — one poll per routing window.
+	HealthEvery time.Duration
+	// StateTimeout bounds one health poll; default SLO.
+	StateTimeout time.Duration
+	// PredictTimeout bounds one forwarded query attempt; default 8·SLO
+	// (a replica may legitimately hold a query for ~T plus backlog).
+	PredictTimeout time.Duration
+	// FailThreshold ejects a replica after this many consecutive failures
+	// (failed health polls or transport errors on forwarded queries).
+	// Default 3.
+	FailThreshold int
+	// RejoinAfter readmits an ejected replica after this many consecutive
+	// successful health polls; its backlog model is reseeded from the
+	// polled horizon. Default 2.
+	RejoinAfter int
+	// RetryMax is how many additional replicas a failed query is retried on
+	// (each attempt goes to a replica the query has not touched yet).
+	// Default 2.
+	RetryMax int
+	// RetryBase seeds the capped exponential backoff between retries
+	// (base·2^attempt plus up to 50% jitter, capped at RetryCap). Default
+	// SLO/16; RetryCap default SLO/2. Negative RetryBase disables the
+	// sleep (retries go immediately — deterministic tests).
+	RetryBase time.Duration
+	RetryCap  time.Duration
+	// HedgeAfter controls straggler hedging: after this long without a
+	// reply, a second copy of the query is sent to the next-best replica
+	// and the first reply wins (the loser is canceled). 0 derives the
+	// delay from the observed latency p95 (2·SLO until 16 samples exist);
+	// negative disables hedging. Hedging watches wall time even under an
+	// injected clock — a straggler is a wall-clock phenomenon.
+	HedgeAfter time.Duration
+}
+
+// replica is one fleet member: its URL, the coordinator's Equation-3 model
+// of it (index-aligned entry in the serving.Cluster), and its health-state
+// machine counters. All fields are guarded by the coordinator's mu.
+type replica struct {
+	url   string
+	model *serving.ReplicaModel
+
+	consecFails int
+	consecOK    int
+	left        bool // administratively removed; skipped by health polls
+
+	routed   int64 // queries routed here (hedges included)
+	ejected  int64 // times ejected
+	rejoined int64 // times readmitted
+}
+
+// Coordinator fronts a fleet of replica msservers.
+type Coordinator struct {
+	cfg     Config
+	clock   server.Clock
+	client  *http.Client
+	started time.Time
+
+	mu        sync.Mutex
+	cluster   *serving.Cluster
+	replicas  []*replica // index-aligned with cluster.Replicas
+	curWindow int64
+	rng       *rand.Rand
+
+	metrics coordMetrics
+
+	quit     chan struct{}
+	stopOnce sync.Once
+}
+
+// New starts a coordinator with an empty replica set; add members with
+// AddReplica. Release it with Stop.
+func New(cfg Config) (*Coordinator, error) {
+	if cfg.SLO <= 0 {
+		return nil, fmt.Errorf("fleet: non-positive SLO %v", cfg.SLO)
+	}
+	if cfg.Headroom < 0 || cfg.Headroom > 1 {
+		return nil, fmt.Errorf("fleet: headroom %v outside (0, 1]", cfg.Headroom)
+	}
+	if cfg.Headroom == 0 {
+		cfg.Headroom = 1
+	}
+	if cfg.Transport == nil {
+		cfg.Transport = &Transport{}
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = server.RealClock()
+	}
+	if cfg.HealthEvery <= 0 {
+		cfg.HealthEvery = cfg.SLO / 2
+	}
+	if cfg.StateTimeout <= 0 {
+		cfg.StateTimeout = cfg.SLO
+	}
+	if cfg.PredictTimeout <= 0 {
+		cfg.PredictTimeout = 8 * cfg.SLO
+	}
+	if cfg.FailThreshold <= 0 {
+		cfg.FailThreshold = 3
+	}
+	if cfg.RejoinAfter <= 0 {
+		cfg.RejoinAfter = 2
+	}
+	if cfg.RetryMax == 0 {
+		cfg.RetryMax = 2
+	}
+	if cfg.RetryBase == 0 {
+		cfg.RetryBase = cfg.SLO / 16
+	}
+	if cfg.RetryCap <= 0 {
+		cfg.RetryCap = cfg.SLO / 2
+	}
+	c := &Coordinator{
+		cfg:     cfg,
+		clock:   cfg.Clock,
+		client:  &http.Client{Transport: cfg.Transport},
+		started: cfg.Clock.Now(),
+		cluster: &serving.Cluster{SLO: cfg.SLO.Seconds(), Headroom: cfg.Headroom},
+		rng:     rand.New(rand.NewSource(1)),
+		quit:    make(chan struct{}),
+	}
+	go c.healthLoop()
+	return c, nil
+}
+
+// Stop halts the health loop. In-flight forwarded queries finish on their
+// own contexts.
+func (c *Coordinator) Stop() {
+	c.stopOnce.Do(func() { close(c.quit) })
+}
+
+// windowS is the wall routing window T/2 on the policy axis.
+func (c *Coordinator) windowS() float64 { return (c.cfg.SLO / 2).Seconds() }
+
+func (c *Coordinator) sinceStart(t time.Time) float64 {
+	return t.Sub(c.started).Seconds()
+}
+
+// AddReplica joins a replica (base URL, e.g. "http://host:port") to the
+// fleet: its /state is fetched synchronously to build the coordinator's
+// Equation-3 model — the calibrated t(r) table becomes a serving.Policy, the
+// polled horizon seeds a serving.Backlog. Re-adding a URL that left (or is
+// still a member) reseeds its model in place; indices stay stable for the
+// queries in flight.
+func (c *Coordinator) AddReplica(baseURL string) error {
+	st, err := c.fetchState(baseURL)
+	if err != nil {
+		return fmt.Errorf("fleet: join %s: %w", baseURL, err)
+	}
+	now := c.clock.Now()
+	nowF := c.sinceStart(now)
+	model := &serving.ReplicaModel{
+		Policy: serving.Policy{
+			Rates:      slicing.RateList(st.Rates),
+			Window:     st.WindowS,
+			SampleTime: server.SampleTimeTable(st.SampleTimes),
+		},
+		Penalized: st.CircuitOpen || st.Stopping,
+	}
+	model.Backlog.Extend(nowF, st.BacklogAheadS)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, r := range c.replicas {
+		if r.url == baseURL {
+			r.left = false
+			r.consecFails, r.consecOK = 0, 0
+			*r.model = *model
+			return nil
+		}
+	}
+	c.cluster.Replicas = append(c.cluster.Replicas, model)
+	c.replicas = append(c.replicas, &replica{url: baseURL, model: model})
+	return nil
+}
+
+// RemoveReplica takes a replica out of rotation administratively. The entry
+// is tombstoned, not deleted, so replica indices held by in-flight queries
+// stay valid; AddReplica with the same URL revives it.
+func (c *Coordinator) RemoveReplica(baseURL string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, r := range c.replicas {
+		if r.url == baseURL && !r.left {
+			r.left = true
+			r.model.Ejected = true
+			r.model.Pending = 0
+			return true
+		}
+	}
+	return false
+}
+
+// advanceLocked performs the lazy window close: pending routing state
+// belongs to curWindow only, so when the clock has crossed into a later
+// window the one boundary that matters is curWindow's close — each booked
+// replica takes its window decision there, extending its modeled horizon.
+// Callers hold c.mu.
+func (c *Coordinator) advanceLocked(nowF float64) {
+	w := int64(nowF / c.windowS())
+	if w > c.curWindow {
+		c.cluster.Close(float64(c.curWindow+1) * c.windowS())
+		c.curWindow = w
+	}
+}
+
+// route books one query into the fleet model and returns the chosen
+// replica. skip lists replica indices this query must avoid (already tried,
+// or the hedge primary).
+func (c *Coordinator) route(skip map[int]bool) (int, string, bool) {
+	now := c.clock.Now()
+	nowF := c.sinceStart(now)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.advanceLocked(nowF)
+	closeT := float64(c.curWindow+1) * c.windowS()
+	rd, ok := c.cluster.Route(nowF, closeT, func(i int) bool { return skip[i] })
+	if !ok {
+		return -1, "", false
+	}
+	r := c.replicas[rd.Replica]
+	r.routed++
+	return rd.Replica, r.url, true
+}
+
+// recordNetFailure feeds a transport-level failure into the same
+// consecutive-failure ejection machine the health poller drives — a replica
+// that eats queries is ejected without waiting out health-poll intervals.
+func (c *Coordinator) recordNetFailure(idx int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.failLocked(c.replicas[idx])
+}
+
+func (c *Coordinator) recordNetOK(idx int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r := c.replicas[idx]
+	r.consecFails = 0
+}
+
+// failLocked advances one replica's failure count and ejects it at the
+// threshold: out of rotation, pending bookings forgotten (those queries are
+// being retried elsewhere). Callers hold c.mu.
+func (c *Coordinator) failLocked(r *replica) {
+	r.consecOK = 0
+	r.consecFails++
+	if !r.model.Ejected && r.consecFails >= c.cfg.FailThreshold {
+		r.model.Ejected = true
+		r.model.Pending = 0
+		r.ejected++
+		c.metrics.ejections.Add(1)
+	}
+}
+
+// healthLoop polls every member's /state each HealthEvery: successes refresh
+// the model (t(r) drift, circuit penalty) and drive rejoin; failures drive
+// ejection. Under a fake clock that is only advanced (never ticked) the loop
+// stays dormant — the lockstep tests run the routing arithmetic pure.
+func (c *Coordinator) healthLoop() {
+	ticks, stop := c.clock.Ticker(c.cfg.HealthEvery)
+	defer stop()
+	for {
+		select {
+		case <-c.quit:
+			return
+		case <-ticks:
+			c.pollAll()
+		}
+	}
+}
+
+func (c *Coordinator) pollAll() {
+	c.mu.Lock()
+	members := make([]*replica, 0, len(c.replicas))
+	for _, r := range c.replicas {
+		if !r.left {
+			members = append(members, r)
+		}
+	}
+	c.mu.Unlock()
+	for _, r := range members {
+		st, err := c.fetchState(r.url)
+		now := c.clock.Now()
+		c.mu.Lock()
+		if r.left { // removed while we polled
+			c.mu.Unlock()
+			continue
+		}
+		if err != nil {
+			c.failLocked(r)
+			c.mu.Unlock()
+			continue
+		}
+		r.consecFails = 0
+		r.consecOK++
+		r.model.Penalized = st.CircuitOpen || st.Stopping
+		r.model.Policy.SampleTime = server.SampleTimeTable(st.SampleTimes)
+		if r.model.Ejected && r.consecOK >= c.cfg.RejoinAfter {
+			// Rejoin: back into rotation with a fresh horizon seeded from
+			// the replica's own report — whatever happened while it was
+			// away, its backlog model restarts from observed truth.
+			r.model.Ejected = false
+			r.model.Pending = 0
+			r.model.Backlog = serving.Backlog{}
+			r.model.Backlog.Extend(c.sinceStart(now), st.BacklogAheadS)
+			r.rejoined++
+			c.metrics.rejoins.Add(1)
+		}
+		c.mu.Unlock()
+	}
+}
+
+// fetchState polls one replica's /state.
+func (c *Coordinator) fetchState(baseURL string) (server.State, error) {
+	var st server.State
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.StateTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/state", nil)
+	if err != nil {
+		return st, err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("state: HTTP %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&st); err != nil {
+		return st, err
+	}
+	return st, nil
+}
+
+// backoff returns the capped exponential retry delay with jitter for the
+// given attempt number (0-based), or 0 when RetryBase is negative.
+func (c *Coordinator) backoff(attempt int) time.Duration {
+	if c.cfg.RetryBase < 0 {
+		return 0
+	}
+	d := c.cfg.RetryBase << attempt
+	if d > c.cfg.RetryCap || d <= 0 {
+		d = c.cfg.RetryCap
+	}
+	c.mu.Lock()
+	jitter := time.Duration(c.rng.Int63n(int64(d)/2 + 1))
+	c.mu.Unlock()
+	return d + jitter
+}

@@ -1,0 +1,201 @@
+package fleet
+
+import (
+	"context"
+	"math/rand"
+	"net/http/httptest"
+	"sort"
+	"testing"
+	"time"
+
+	"modelslicing/internal/faults"
+	"modelslicing/internal/models"
+	"modelslicing/internal/server"
+	"modelslicing/internal/serving"
+	"modelslicing/internal/slicing"
+)
+
+// netFaultsArmed reports whether the process-wide network chaos points are
+// on (the CI soak arms them via MS_FAULTS). Determinism-pinning tests skip
+// then; the robustness tests are exactly what the soak exercises.
+func netFaultsArmed() bool {
+	return faults.Active(faults.NetDrop) || faults.Active(faults.NetDelay) ||
+		faults.Active(faults.ReplicaDown)
+}
+
+func inputVec(seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, 4)
+	for i := range out {
+		out[i] = rng.NormFloat64()
+	}
+	return out
+}
+
+// fakeReplica builds one deterministic replica over a tiny MLP: FakeClock
+// windows, pinned t(r) = r² against a 1 s window (the same arithmetic the
+// single-node lockstep tests pin), admission wide open so the coordinator's
+// routing is the only throttle.
+func fakeReplica(t *testing.T, clk server.Clock) *server.Server {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	s, err := server.New(server.Config{
+		Model:             models.NewMLP(4, []int{8, 8}, 3, 4, rng),
+		Rates:             slicing.NewRateList(0.25, 4),
+		InputShape:        []int{4},
+		SLO:               2 * time.Second,
+		Workers:           2,
+		Clock:             clk,
+		SampleTime:        func(r float64) float64 { return r * r },
+		QueueFactor:       1000,
+		MaxBacklogWindows: 1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Stop)
+	return s
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(500 * time.Microsecond)
+	}
+}
+
+// TestFleetChaosLockstep is the cluster drift guard: N fake-clock replicas
+// behind a live coordinator versus the clock-free fleet simulation, driven
+// with one arrival trace. Per window it pins (a) how many queries the
+// coordinator routed to each replica and (b) the rate every reply was served
+// at — the replicas take their own Equation-3 decisions, so agreement means
+// the coordinator's remote model and N independent schedulers reproduce
+// serving.SimulateFleet exactly.
+func TestFleetChaosLockstep(t *testing.T) {
+	if netFaultsArmed() {
+		t.Skip("network fault injection armed; lockstep determinism is not expected")
+	}
+	const n = 3
+	rates := slicing.NewRateList(0.25, 4)
+	// Small windows spread one query per replica; 20 and 40 fill replicas to
+	// their window budget; 60 saturates the whole fleet (one replica's batch
+	// overruns → SLO violations), and the 9 right behind it lands while that
+	// overrun is still draining → a backlog-degraded window.
+	arrivals := []int{3, 20, 1, 40, 0, 5, 2, 60, 9, 0, 16, 2}
+	sim := serving.SimulateFleet(serving.Config{LatencySLO: 2, FullSampleTime: 1, Rates: rates}, n, arrivals)
+
+	base := time.Unix(0, 0)
+	replicas := make([]*server.Server, n)
+	clocks := make([]*server.FakeClock, n)
+	replicaURLs := make([]string, n)
+	for i := range replicas {
+		clocks[i] = server.NewFakeClock(base)
+		replicas[i] = fakeReplica(t, clocks[i])
+		ts := httptest.NewServer(replicas[i].Handler())
+		t.Cleanup(ts.Close)
+		replicaURLs[i] = ts.URL
+	}
+
+	cclk := server.NewFakeClock(base)
+	coord, err := New(Config{
+		SLO:        2 * time.Second,
+		Clock:      cclk,
+		HedgeAfter: -1, // wall-time hedging has no place in a frozen-clock run
+		RetryBase:  -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(coord.Stop)
+	for _, u := range replicaURLs {
+		if err := coord.AddReplica(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	window := time.Second
+	for k, nq := range arrivals {
+		routedBefore := routedCounts(coord)
+		results := make(chan float64, nq)
+		for j := 0; j < nq; j++ {
+			go func(seed int64) {
+				resp, err := coord.Predict(context.Background(), inputVec(seed))
+				if err != nil {
+					t.Errorf("window %d: predict: %v", k, err)
+					results <- -1
+					return
+				}
+				results <- resp.Rate
+			}(int64(100*k + j))
+		}
+		// Every query must be booked and accepted by its replica before the
+		// window may close.
+		waitFor(t, "window submissions to land", func() bool {
+			total := 0
+			for _, r := range replicas {
+				total += r.QueueDepth()
+			}
+			return total == nq
+		})
+		routedNow := routedCounts(coord)
+		for i := range routedNow {
+			got := routedNow[i] - routedBefore[i]
+			if want := int64(sim.Ticks[k].Routed[i]); got != want {
+				t.Fatalf("window %d replica %d: coordinator routed %d, simulation %d",
+					k, i, got, want)
+			}
+		}
+		cclk.Advance(window)
+		for i := range clocks {
+			clocks[i].Tick(window)
+		}
+		for i := range replicas {
+			idx := i
+			waitFor(t, "replica window close", func() bool {
+				return replicas[idx].Stats().Windows == int64(k+1)
+			})
+		}
+		var gotRates []float64
+		for j := 0; j < nq; j++ {
+			gotRates = append(gotRates, <-results)
+		}
+		var wantRates []float64
+		for i, d := range sim.Ticks[k].Decisions {
+			for q := 0; q < sim.Ticks[k].Routed[i]; q++ {
+				wantRates = append(wantRates, d.Rate)
+			}
+		}
+		sort.Float64s(gotRates)
+		sort.Float64s(wantRates)
+		if len(gotRates) != len(wantRates) {
+			t.Fatalf("window %d: %d replies, want %d", k, len(gotRates), len(wantRates))
+		}
+		for j := range gotRates {
+			if gotRates[j] != wantRates[j] {
+				t.Fatalf("window %d: served rates %v, simulation %v", k, gotRates, wantRates)
+			}
+		}
+	}
+
+	// The trace must actually have exercised saturation and skew.
+	if sim.SLOViolations == 0 || sim.DegradedWindows == 0 {
+		t.Fatalf("trace too tame: %d violations, %d degraded", sim.SLOViolations, sim.DegradedWindows)
+	}
+	if st := coord.Stats(); st.Retries != 0 || st.Hedges != 0 || st.Shed != 0 {
+		t.Fatalf("lockstep run saw retries=%d hedges=%d shed=%d; decisions are not comparable",
+			st.Retries, st.Hedges, st.Shed)
+	}
+}
+
+func routedCounts(c *Coordinator) []int64 {
+	rs := c.Replicas()
+	out := make([]int64, len(rs))
+	for i, r := range rs {
+		out[i] = r.Routed
+	}
+	return out
+}

@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// LabeledHist pairs one histogram snapshot with its label pair text (empty
+// for an unlabeled series), for Prometheus text exposition.
+type LabeledHist struct {
+	Labels string
+	Hist   HistSnapshot
+}
+
+// PromHistogram renders one Prometheus histogram family: cumulative _bucket
+// series at the thinned (octave) bound set plus +Inf, then _sum and _count,
+// for each labeled series. An empty series list emits nothing. Shared by the
+// single-node /metrics endpoint and the fleet coordinator's, so the two
+// expositions cannot drift in layout.
+func PromHistogram(b []byte, name, help string, series []LabeledHist) []byte {
+	if len(series) == 0 {
+		return b
+	}
+	b = append(b, fmt.Sprintf("# HELP %s %s\n# TYPE %s histogram\n", name, help, name)...)
+	bounds := BucketBounds()
+	idxs := ExpositionBounds()
+	withLe := func(labels, le string) string {
+		if labels == "" {
+			return fmt.Sprintf(`{le=%q}`, le)
+		}
+		return fmt.Sprintf(`{%s,le=%q}`, labels, le)
+	}
+	for _, sh := range series {
+		for _, i := range idxs {
+			le := strconv.FormatFloat(bounds[i], 'g', -1, 64)
+			b = append(b, fmt.Sprintf("%s_bucket%s %d\n", name, withLe(sh.Labels, le), sh.Hist.CumulativeAt(i))...)
+		}
+		b = append(b, fmt.Sprintf("%s_bucket%s %d\n", name, withLe(sh.Labels, "+Inf"), sh.Hist.Count)...)
+		suffix := ""
+		if sh.Labels != "" {
+			suffix = "{" + sh.Labels + "}"
+		}
+		b = append(b, fmt.Sprintf("%s_sum%s %g\n", name, suffix, sh.Hist.Sum.Seconds())...)
+		b = append(b, fmt.Sprintf("%s_count%s %d\n", name, suffix, sh.Hist.Count)...)
+	}
+	return b
+}

@@ -16,6 +16,11 @@ type Clock interface {
 	Ticker(d time.Duration) (<-chan time.Time, func())
 }
 
+// RealClock returns the production clock backed by the runtime timer wheel —
+// the same clock a nil Config.Clock defaults to, exported so other layers
+// (the fleet coordinator) can share the injection seam.
+func RealClock() Clock { return realClock{} }
+
 // realClock is the production clock backed by the runtime timer wheel.
 type realClock struct{}
 

@@ -47,6 +47,9 @@ type PredictStages struct {
 //	GET  /metrics          — Prometheus text exposition of the live counters
 //	                         and latency histograms
 //	GET  /healthz          — liveness (503 once shutdown has begun)
+//	GET  /state            — coordinator-facing snapshot: t(r) table, policy
+//	                         window, backlog horizon, circuit state, load
+//	                         gauges (what a fleet coordinator polls)
 //	GET  /debug/decisions  — the window-decision flight recorder (last N
 //	                         scheduling decisions with inputs and reasons);
 //	                         ?n=K limits to the newest K
@@ -57,6 +60,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/predict", s.handlePredict)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/state", s.handleState)
 	mux.HandleFunc("/debug/decisions", s.handleDecisions)
 	mux.HandleFunc("/debug/trace", s.handleTrace)
 	return mux
@@ -88,11 +92,14 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	ch, err := s.Submit(x)
 	switch {
 	case errors.Is(err, ErrOverloaded):
-		// Shed with the evidence attached: the flight recorder's most
-		// recent window decisions explain what ate the admission budget.
-		w.Header().Set("Retry-After", "1")
+		// Shed with the evidence attached: a horizon-derived backoff hint
+		// (so clients wait out the actual drain instead of guessing) and
+		// the flight recorder's most recent window decisions, which explain
+		// what ate the admission budget.
+		retryMs := s.retryAfterHeaders(w, s.clock.Now())
 		writeJSONStatus(w, http.StatusServiceUnavailable, map[string]any{
 			"error":            err.Error(),
+			"retry_after_ms":   retryMs,
 			"recent_decisions": s.recorder.Last(4),
 		})
 		return

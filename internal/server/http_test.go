@@ -128,6 +128,15 @@ func TestHTTPMetricsAndHealth(t *testing.T) {
 		`msserver_pack_cache_tier_bytes{tier="f32"}`,
 		`msserver_gemm_kernel_total{tier="exact",kernel="scalar"}`,
 		`msserver_gemm_kernel_total{tier="fma",kernel="vector"}`,
+		// Failure-domain surface: a healthy run exposes the counters at
+		// zero and the brownout circuit closed.
+		"msserver_worker_panics_total 0",
+		"msserver_stuck_shards_total 0",
+		"msserver_workers_replaced_total 0",
+		"msserver_failed_queries_total 0",
+		"msserver_circuit_state 0",
+		"msserver_circuit_trips_total 0",
+		"msserver_circuit_pinned_windows_total 0",
 	} {
 		if !strings.Contains(text, w) {
 			t.Fatalf("metrics missing %q:\n%s", w, text)
@@ -138,9 +147,23 @@ func TestHTTPMetricsAndHealth(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	var health struct {
+		Status      string  `json:"status"`
+		SLOms       float64 `json:"slo_ms"`
+		CircuitOpen *bool   `json:"circuit_open"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	if health.Status != "ok" || health.SLOms != 20 {
+		t.Fatalf("healthz body %+v", health)
+	}
+	if health.CircuitOpen == nil || *health.CircuitOpen {
+		t.Fatalf("healthz circuit_open %v, want present and false", health.CircuitOpen)
 	}
 
 	s.Stop()

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math"
 	"sort"
-	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -334,61 +333,22 @@ func (s Stats) prometheus() string {
 		}
 	}
 
-	b = promHistogram(b, "msserver_query_latency_seconds",
+	b = obs.PromHistogram(b, "msserver_query_latency_seconds",
 		"Submission-to-reply latency of answered queries.",
-		[]labeledHist{{"", s.Latency}})
-	stages := make([]labeledHist, 0, len(s.StageLatency))
+		[]obs.LabeledHist{{Labels: "", Hist: s.Latency}})
+	stages := make([]obs.LabeledHist, 0, len(s.StageLatency))
 	for _, sl := range s.StageLatency {
-		stages = append(stages, labeledHist{fmt.Sprintf("stage=%q", sl.Stage), sl.Hist})
+		stages = append(stages, obs.LabeledHist{Labels: fmt.Sprintf("stage=%q", sl.Stage), Hist: sl.Hist})
 	}
-	b = promHistogram(b, "msserver_stage_latency_seconds",
+	b = obs.PromHistogram(b, "msserver_stage_latency_seconds",
 		"Per-stage query latency: queue (batch formation), dispatch (shard-queue wait), compute, settle.",
 		stages)
-	perRate := make([]labeledHist, 0, len(s.RateLatency))
+	perRate := make([]obs.LabeledHist, 0, len(s.RateLatency))
 	for _, rl := range s.RateLatency {
-		perRate = append(perRate, labeledHist{fmt.Sprintf("rate=%q", fmt.Sprintf("%g", rl.Rate)), rl.Hist})
+		perRate = append(perRate, obs.LabeledHist{Labels: fmt.Sprintf("rate=%q", fmt.Sprintf("%g", rl.Rate)), Hist: rl.Hist})
 	}
-	b = promHistogram(b, "msserver_rate_latency_seconds",
+	b = obs.PromHistogram(b, "msserver_rate_latency_seconds",
 		"Submission-to-reply latency per served slice rate.",
 		perRate)
 	return string(b)
-}
-
-// labeledHist pairs one histogram snapshot with its label pair text (empty
-// for an unlabeled series).
-type labeledHist struct {
-	labels string
-	hist   obs.HistSnapshot
-}
-
-// promHistogram renders one Prometheus histogram family: cumulative
-// _bucket series at the thinned (octave) bound set plus +Inf, then _sum and
-// _count, for each labeled series. An empty series list emits nothing.
-func promHistogram(b []byte, name, help string, series []labeledHist) []byte {
-	if len(series) == 0 {
-		return b
-	}
-	b = append(b, fmt.Sprintf("# HELP %s %s\n# TYPE %s histogram\n", name, help, name)...)
-	bounds := obs.BucketBounds()
-	idxs := obs.ExpositionBounds()
-	withLe := func(labels, le string) string {
-		if labels == "" {
-			return fmt.Sprintf(`{le=%q}`, le)
-		}
-		return fmt.Sprintf(`{%s,le=%q}`, labels, le)
-	}
-	for _, sh := range series {
-		for _, i := range idxs {
-			le := strconv.FormatFloat(bounds[i], 'g', -1, 64)
-			b = append(b, fmt.Sprintf("%s_bucket%s %d\n", name, withLe(sh.labels, le), sh.hist.CumulativeAt(i))...)
-		}
-		b = append(b, fmt.Sprintf("%s_bucket%s %d\n", name, withLe(sh.labels, "+Inf"), sh.hist.Count)...)
-		suffix := ""
-		if sh.labels != "" {
-			suffix = "{" + sh.labels + "}"
-		}
-		b = append(b, fmt.Sprintf("%s_sum%s %g\n", name, suffix, sh.hist.Sum.Seconds())...)
-		b = append(b, fmt.Sprintf("%s_count%s %d\n", name, suffix, sh.hist.Count)...)
-	}
-	return b
 }

@@ -137,7 +137,7 @@ func (d *scheduler) shutdown() {
 	d.mu.Unlock()
 	d.notify()
 	go func() {
-		t := time.NewTicker(50 * time.Millisecond)
+		t := time.NewTicker(d.srv.cfg.DrainSweepEvery)
 		defer t.Stop()
 		for {
 			select {

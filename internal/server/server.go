@@ -111,6 +111,13 @@ type Config struct {
 	// hostage forever. Zero defaults to 8·SLO (far past any feasible
 	// batch); negative disables the watchdog.
 	StuckAfter time.Duration
+	// DrainSweepEvery is the real-time interval of the shutdown-drain
+	// watchdog sweep: the batch ticker that normally drives the watchdog
+	// has exited by then, so a dedicated ticker keeps scanning for wedged
+	// shards until the queue drains. Chaos and shutdown tests shrink it so
+	// a stalled shard is reclaimed without waiting out wall-clock defaults.
+	// Zero defaults to 50ms.
+	DrainSweepEvery time.Duration
 	// DropExpired drops queries whose SLO deadline has already passed at
 	// the moment a worker would start computing them: they receive
 	// ErrExpired instead of a late answer, and the worker's time goes to
@@ -290,6 +297,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.StuckAfter == 0 {
 		cfg.StuckAfter = 8 * cfg.SLO
 	}
+	if cfg.DrainSweepEvery <= 0 {
+		cfg.DrainSweepEvery = 50 * time.Millisecond
+	}
 	if cfg.CircuitThreshold == 0 {
 		cfg.CircuitThreshold = 3
 	}
@@ -456,6 +466,28 @@ func (s *Server) admissionLimit(now time.Time) int {
 		return math.MaxInt
 	}
 	return max(int(limit), 1)
+}
+
+// RetryAfter estimates how long a shed client should wait before its next
+// attempt has a chance of admission: the time until the backlog horizon has
+// drained far enough that a submission's next window close sees a positive
+// budget again. Inverting admissionLimit: a submission at time s is budgeted
+// budget = Window − Ahead(s + T/2), positive once
+// s > horizon − T/2 − Window — so the wait is
+// horizon − now − T/2 − Window, floored at one T/2 window (the soonest any
+// resubmission can land in a fresh window anyway). The estimate rides the
+// same model-only horizon admission sheds on, so it is exactly as honest as
+// the rejection itself.
+func (s *Server) RetryAfter(now time.Time) time.Duration {
+	halfWindow := s.cfg.SLO / 2
+	s.mu.Lock()
+	horizon := s.backlog.Horizon()
+	s.mu.Unlock()
+	wait := horizon - s.sinceStart(now) - halfWindow.Seconds() - s.policy.Window
+	if d := time.Duration(wait * float64(time.Second)); d > halfWindow {
+		return d
+	}
+	return halfWindow
 }
 
 // noteShardFailure feeds the brownout circuit: consecutive shard failures

@@ -24,6 +24,7 @@ import (
 	"math/rand"
 
 	"modelslicing/internal/cost"
+	"modelslicing/internal/fleet"
 	"modelslicing/internal/nn"
 	"modelslicing/internal/server"
 	"modelslicing/internal/serving"
@@ -207,3 +208,19 @@ func NewPolicy(rates RateList, latencySLO, fullSampleTime float64) Policy {
 // NewServer starts a live server over a trained model; release it with
 // (*Server).Stop. See internal/server for the engine's architecture.
 func NewServer(cfg ServerConfig) (*Server, error) { return server.New(cfg) }
+
+// Fleet serving: a coordinator routes queries over N replica servers with
+// the same Equation-3 arithmetic the single node uses — each query to the
+// replica whose backlog admits its window at the highest rate — with
+// health-checked ejection/rejoin, retry on a different replica, and
+// straggler hedging. See internal/fleet and DESIGN.md §14.
+type (
+	// Coordinator fronts a fleet of replica servers.
+	Coordinator = fleet.Coordinator
+	// CoordinatorConfig parameterizes a fleet coordinator.
+	CoordinatorConfig = fleet.Config
+)
+
+// NewCoordinator starts a fleet coordinator; add members with
+// (*Coordinator).AddReplica and release it with (*Coordinator).Stop.
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) { return fleet.New(cfg) }
