@@ -28,6 +28,7 @@ import (
 	"math"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"strings"
@@ -36,6 +37,8 @@ import (
 
 	"modelslicing/internal/experiments"
 	"modelslicing/internal/models"
+	"modelslicing/internal/nn"
+	"modelslicing/internal/persist"
 	"modelslicing/internal/serving"
 	"modelslicing/internal/slicing"
 	"modelslicing/internal/tensor"
@@ -135,6 +138,27 @@ type benchReport struct {
 	// per-rate shared path on each tier the host supports. Additive —
 	// -compare diffs them only when both snapshots carry them.
 	Tiers []tierSection `json:"tiers,omitempty"`
+	// ColdStart quantifies checkpoint cold start: the legacy copying loader
+	// versus the current mmap format, to bind and to first inference.
+	// Additive — old snapshots read back unchanged, and -compare reports it
+	// informationally without gating (µs-scale syscall timings are too noisy
+	// to fail a build over).
+	ColdStart *coldStartSection `json:"cold_start,omitempty"`
+}
+
+// coldStartSection is the checkpoint cold-start benchmark: one serving-class
+// MLP saved in both formats, best-of-N wall time for the legacy v2 copying
+// load versus the v3 mmap Open+Bind, alone and through the first full-rate
+// single-sample inference (the moment a cold replica starts answering).
+type coldStartSection struct {
+	Model               string  `json:"model"`
+	ParamBytes          int64   `json:"param_bytes"`
+	V2LoadNs            float64 `json:"v2_load_ns"`
+	V3OpenNs            float64 `json:"v3_open_ns"`
+	OpenSpeedup         float64 `json:"open_speedup"`
+	V2ToFirstInferNs    float64 `json:"v2_to_first_infer_ns"`
+	V3ToFirstInferNs    float64 `json:"v3_to_first_infer_ns"`
+	ToFirstInferSpeedup float64 `json:"to_first_infer_speedup"`
 }
 
 type gemmPoint struct {
@@ -271,7 +295,104 @@ func collectBench(packed bool, tier tensor.EngineTier) benchReport {
 		rep.Inference[i].SampleTimeSeconds = sampleTime(rep.Inference[i].Rate)
 	}
 	rep.Tiers = collectTierSections(packed)
+	rep.ColdStart = collectColdStart()
 	return rep
+}
+
+// collectColdStart saves one serving-class MLP (the msserver demo family,
+// scaled to a realistic parameter count) in both checkpoint formats and times
+// the two cold-start paths best-of-N: the legacy v2 copying loader versus the
+// v3 mmap Open+Bind, each alone and through the first full-rate inference.
+// Returns nil (section omitted) if scratch files cannot be written.
+func collectColdStart() *coldStartSection {
+	const gran = 4
+	rates := slicing.NewRateList(0.25, gran)
+	newModel := func() nn.Layer {
+		return models.NewMLP(256, []int{256, 256}, 10, gran, rand.New(rand.NewSource(7)))
+	}
+	dir, err := os.MkdirTemp("", "msbench-coldstart")
+	if err != nil {
+		return nil
+	}
+	defer os.RemoveAll(dir)
+	src := newModel()
+	v2Path := filepath.Join(dir, "m.v2.ckpt")
+	v3Path := filepath.Join(dir, "m.v3.ckpt")
+	if persist.SaveV2(v2Path, src.Params()) != nil || persist.SaveEpoch(v3Path, src.Params(), 1) != nil {
+		return nil
+	}
+	sec := &coldStartSection{Model: "mlp 256-256-256-10"}
+	for _, p := range src.Params() {
+		sec.ParamBytes += int64(8 * len(p.Value.Data))
+	}
+
+	x := tensor.New(1, 256)
+	rng := rand.New(rand.NewSource(8))
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	arena := tensor.NewArena()
+	// The first inference runs at the lower-bound rate: the conservative
+	// width a cold replica's first window can always serve, and the narrow
+	// slice keeps the measurement about checkpoint I/O rather than the
+	// full-width pack build both paths pay identically.
+	firstInfer := func(m nn.Layer) {
+		slicing.NewShared(m, rates).Infer(rates.Min(), x, arena)
+		arena.Reset()
+	}
+
+	const runs = 7
+	best := func(f func() (load, total time.Duration, err error)) (bl, bt float64, ok bool) {
+		bl, bt = math.MaxFloat64, math.MaxFloat64
+		for i := 0; i < runs; i++ {
+			l, t, err := f()
+			if err != nil {
+				return 0, 0, false
+			}
+			bl = math.Min(bl, float64(l.Nanoseconds()))
+			bt = math.Min(bt, float64(t.Nanoseconds()))
+		}
+		return bl, bt, true
+	}
+	var ok bool
+	sec.V2LoadNs, sec.V2ToFirstInferNs, ok = best(func() (time.Duration, time.Duration, error) {
+		m := newModel()
+		start := time.Now()
+		if err := persist.Load(v2Path, m.Params()); err != nil {
+			return 0, 0, err
+		}
+		load := time.Since(start)
+		firstInfer(m)
+		return load, time.Since(start), nil
+	})
+	if !ok {
+		return nil
+	}
+	sec.V3OpenNs, sec.V3ToFirstInferNs, ok = best(func() (time.Duration, time.Duration, error) {
+		m := newModel()
+		start := time.Now()
+		ck, err := persist.Open(v3Path)
+		if err != nil {
+			return 0, 0, err
+		}
+		if err := ck.Bind(m.Params()); err != nil {
+			ck.Close()
+			return 0, 0, err
+		}
+		open := time.Since(start)
+		firstInfer(m)
+		total := time.Since(start)
+		// The bound tensors alias the mapping; nothing touches them past the
+		// measurement, so the scratch mapping can go.
+		ck.Close()
+		return open, total, nil
+	})
+	if !ok {
+		return nil
+	}
+	sec.OpenSpeedup = sec.V2LoadNs / sec.V3OpenNs
+	sec.ToFirstInferSpeedup = sec.V2ToFirstInferNs / sec.V3ToFirstInferNs
+	return sec
 }
 
 // collectTierSections measures every engine tier the host supports: one
@@ -491,6 +612,15 @@ func compareBench(w io.Writer, oldPath string, fresh benchReport, slowdown float
 				row(fmt.Sprintf("tier %s rate %.2f ns/sample", ts.Tier, p.Rate), o.NsPerSampleShared, p.NsPerSampleShared)
 			}
 		}
+	}
+	// Cold start is informational only: the timings are µs-scale syscall
+	// measurements whose jitter would make the gate cry wolf.
+	if old.ColdStart != nil && fresh.ColdStart != nil {
+		fmt.Fprintf(w, "%-28s %12.0fns %12.0fns %7.2fx  (info)\n", "cold start: v3 open",
+			old.ColdStart.V3OpenNs, fresh.ColdStart.V3OpenNs, fresh.ColdStart.V3OpenNs/old.ColdStart.V3OpenNs)
+		fmt.Fprintf(w, "%-28s %12.0fns %12.0fns %7.2fx  (info)\n", "cold start: v3 first infer",
+			old.ColdStart.V3ToFirstInferNs, fresh.ColdStart.V3ToFirstInferNs,
+			fresh.ColdStart.V3ToFirstInferNs/old.ColdStart.V3ToFirstInferNs)
 	}
 	if ok {
 		fmt.Fprintf(w, "OK: no metric slowed past %.2fx\n", slowdown)

@@ -105,6 +105,53 @@ func TestCompareBenchSkipsUnmatchedMetrics(t *testing.T) {
 	}
 }
 
+// TestColdStartSection runs the checkpoint cold-start benchmark end to end
+// and sanity-checks its physics: both paths measured, the mmap Open strictly
+// cheaper than the copying load, and the section surviving a JSON round trip
+// (including its absence — old baselines carry no cold_start key).
+func TestColdStartSection(t *testing.T) {
+	sec := collectColdStart()
+	if sec == nil {
+		t.Fatal("collectColdStart returned no section")
+	}
+	if sec.ParamBytes <= 0 || sec.V2LoadNs <= 0 || sec.V3OpenNs <= 0 ||
+		sec.V2ToFirstInferNs <= 0 || sec.V3ToFirstInferNs <= 0 {
+		t.Fatalf("unmeasured fields: %+v", sec)
+	}
+	if sec.V3OpenNs >= sec.V2LoadNs {
+		t.Fatalf("mmap open (%.0fns) not cheaper than the copying load (%.0fns)", sec.V3OpenNs, sec.V2LoadNs)
+	}
+	if sec.V3ToFirstInferNs >= sec.V2ToFirstInferNs {
+		t.Fatalf("mmap path to first inference (%.0fns) not cheaper than the copying path (%.0fns)",
+			sec.V3ToFirstInferNs, sec.V2ToFirstInferNs)
+	}
+	t.Logf("%s (%d KiB): open %.1fx faster (%.0fns vs %.0fns), to first inference %.1fx (%.0fns vs %.0fns)",
+		sec.Model, sec.ParamBytes>>10, sec.OpenSpeedup, sec.V3OpenNs, sec.V2LoadNs,
+		sec.ToFirstInferSpeedup, sec.V3ToFirstInferNs, sec.V2ToFirstInferNs)
+
+	rep := sampleReport(1000, 5000)
+	rep.ColdStart = sec
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back benchReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.ColdStart == nil || *back.ColdStart != *sec {
+		t.Fatalf("cold_start did not survive the JSON round trip: %+v", back.ColdStart)
+	}
+	// Old snapshots (no cold_start key) must read back with a nil section,
+	// and comparing across the presence boundary must not gate on it.
+	path := writeReport(t, sampleReport(1000, 5000))
+	var buf bytes.Buffer
+	ok, err := compareBench(&buf, path, rep, 1.25)
+	if err != nil || !ok {
+		t.Fatalf("cold_start presence mismatch failed the gate: ok=%v err=%v\n%s", ok, err, buf.String())
+	}
+}
+
 // TestCompareBenchErrors: unreadable or malformed baselines and non-positive
 // thresholds are errors, not silent passes.
 func TestCompareBenchErrors(t *testing.T) {

@@ -14,6 +14,18 @@
 //	msserver -model demo
 //	curl -s localhost:8080/predict -d '{"input":[...16 floats...]}'
 //
+// Checkpoints in the current (v3) format are memory-mapped, not read: cold
+// start is O(1) in model size, and pages fault in lazily as the first windows
+// touch them. A model served from a checkpoint can be replaced without
+// dropping a query — retrain (or re-save) into the same path, then either
+// signal the process or hit the admin endpoint:
+//
+//	kill -HUP $(pidof msserver)
+//	curl -X POST localhost:8080/admin/swap
+//
+// In-flight windows finish on the old weights, new windows serve the new
+// ones, and the calibrator re-learns t(r) over a short ramp.
+//
 // With -coordinator the process serves no model at all: it fronts a fleet of
 // replicas (each a plain msserver), routing every query to the replica whose
 // backlog admits it at the highest slice rate, health-checking members, and
@@ -26,6 +38,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -61,6 +74,7 @@ func main() {
 	tier := flag.String("tier", "", "GEMM engine tier: exact|fma|f32 (empty = MS_ENGINE_TIER, default exact)")
 	traceSample := flag.Int("trace-sample", 16, "sample every k-th query's span into /debug/trace (negative disables the ring)")
 	dropExpired := flag.Bool("drop-expired", false, "answer queries whose SLO already expired with an error instead of computing them late")
+	verify := flag.Bool("verify", true, "CRC-sweep mapped checkpoints before serving them (disable for the pure O(1) cold start)")
 	seed := flag.Int64("seed", 1, "random seed")
 	coordinator := flag.Bool("coordinator", false, "front a fleet of replicas instead of serving a model (see -replicas)")
 	replicaList := flag.String("replicas", "", "comma-separated replica base URLs for -coordinator (more can join at runtime via POST /replicas)")
@@ -78,6 +92,8 @@ func main() {
 		net        nn.Layer
 		inputShape []int
 		accuracyAt func(r float64) float64
+		info       server.ModelInfo
+		swapSource func() (*slicing.Shared, server.ModelInfo, error)
 	)
 	switch *model {
 	case "demo":
@@ -92,23 +108,30 @@ func main() {
 			fmt.Fprintf(os.Stderr, "msserver: -model %s requires -load (train one with mstrain -save)\n", *model)
 			os.Exit(2)
 		}
-		cfg := data.CIFARLike(0, 0)
-		switch *model {
-		case "mlp":
-			net = models.NewMLP(cfg.Channels*cfg.H*cfg.W, []int{64, 64}, cfg.Classes, *gran, rng)
-			inputShape = []int{cfg.Channels * cfg.H * cfg.W}
-		case "vgg":
-			net, _ = models.NewVGG(models.VGG13Mini(*gran, models.NormGroup, len(rates)), rng)
-			inputShape = []int{cfg.Channels, cfg.H, cfg.W}
-		case "resnet":
-			net, _ = models.NewResNet(models.ResNetMini(*gran, models.NormGroup, len(rates)), rng)
-			inputShape = []int{cfg.Channels, cfg.H, cfg.W}
-		}
-		if err := persist.Load(*loadPath, net.Params()); err != nil {
+		net, inputShape = buildNet(*model, *gran, len(rates), rng)
+		var err error
+		info, err = loadCheckpoint(*loadPath, net.Params(), *verify)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Printf("loaded checkpoint %s\n", *loadPath)
+		if info.CRC != 0 || info.Epoch != 0 {
+			fmt.Printf("mapped checkpoint %s (epoch %d, crc %08x)\n", *loadPath, info.Epoch, info.CRC)
+		} else {
+			fmt.Printf("loaded legacy checkpoint %s\n", *loadPath)
+		}
+		// SwapSource rebuilds the architecture from scratch and re-binds the
+		// checkpoint path — what SIGHUP and POST /admin/swap promote after the
+		// path has been overwritten by a newer save.
+		modelName, gran, nRates, path, doVerify := *model, *gran, len(rates), *loadPath, *verify
+		swapSource = func() (*slicing.Shared, server.ModelInfo, error) {
+			fresh, _ := buildNet(modelName, gran, nRates, rand.New(rand.NewSource(1)))
+			ninfo, err := loadCheckpoint(path, fresh.Params(), doVerify)
+			if err != nil {
+				return nil, server.ModelInfo{}, err
+			}
+			return slicing.NewShared(fresh, rates), ninfo, nil
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "msserver: unknown model %q\n", *model)
 		os.Exit(2)
@@ -126,6 +149,8 @@ func main() {
 		AccuracyAt:       accuracyAt,
 		TraceSampleEvery: *traceSample,
 		DropExpired:      *dropExpired,
+		ModelInfo:        info,
+		SwapSource:       swapSource,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -177,6 +202,29 @@ func main() {
 		srv.Stop()                // flush the last window
 		close(done)
 	}()
+	// SIGHUP is the operator's "reload the checkpoint" signal: rebuild the
+	// model from the (presumably re-saved) path and hot-swap it in without
+	// dropping a query. Demo models have no checkpoint to reload.
+	go func() {
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		for range hup {
+			if swapSource == nil {
+				fmt.Println("SIGHUP: serving an in-process model (no checkpoint); nothing to reload")
+				continue
+			}
+			ns, ninfo, err := swapSource()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "msserver: SIGHUP reload: %v\n", err)
+				continue
+			}
+			if err := srv.Swap(ns, ninfo); err != nil {
+				fmt.Fprintf(os.Stderr, "msserver: SIGHUP swap: %v\n", err)
+				continue
+			}
+			fmt.Printf("SIGHUP: swapped to checkpoint epoch %d (crc %08x)\n", ninfo.Epoch, ninfo.CRC)
+		}
+	}()
 
 	fmt.Printf("serving %s on %s (SLO %s, window %s, engine tier %s)\n", *model, *addr, *slo, *slo/2, srv.Stats().EngineTier)
 	if armed := faults.Summary(); armed != "" {
@@ -184,11 +232,62 @@ func main() {
 	}
 	fmt.Printf("observability: /metrics (Prometheus), /debug/decisions (flight recorder), /debug/trace (Chrome trace, 1-in-%d queries), /debug/pprof/\n",
 		*traceSample)
+	if swapSource != nil {
+		fmt.Println("model ops: kill -HUP or POST /admin/swap reloads the checkpoint without dropping a query")
+	}
 	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	<-done
+}
+
+// buildNet constructs the serving architecture for -model mlp/vgg/resnet, so
+// the initial load and every SwapSource rebuild agree on shapes. (The rng
+// only seeds initial weights, which the checkpoint immediately replaces.)
+func buildNet(model string, gran, nRates int, rng *rand.Rand) (nn.Layer, []int) {
+	cfg := data.CIFARLike(0, 0)
+	switch model {
+	case "mlp":
+		return models.NewMLP(cfg.Channels*cfg.H*cfg.W, []int{64, 64}, cfg.Classes, gran, rng),
+			[]int{cfg.Channels * cfg.H * cfg.W}
+	case "vgg":
+		net, _ := models.NewVGG(models.VGG13Mini(gran, models.NormGroup, nRates), rng)
+		return net, []int{cfg.Channels, cfg.H, cfg.W}
+	default: // resnet
+		net, _ := models.NewResNet(models.ResNetMini(gran, models.NormGroup, nRates), rng)
+		return net, []int{cfg.Channels, cfg.H, cfg.W}
+	}
+}
+
+// loadCheckpoint binds params to the checkpoint at path. Current-format (v3)
+// checkpoints are memory-mapped and bound in place — O(1) cold start, with an
+// optional full CRC sweep first — and the mapping stays live for as long as
+// the process serves those tensors. Legacy v1/v2 checkpoints fall back to the
+// copying loader (no identity: their headers carry no epoch and the trailer
+// CRC is not comparable).
+func loadCheckpoint(path string, params []*nn.Param, verify bool) (server.ModelInfo, error) {
+	ckpt, err := persist.Open(path)
+	if errors.Is(err, persist.ErrLegacyFormat) {
+		if err := persist.Load(path, params); err != nil {
+			return server.ModelInfo{}, err
+		}
+		return server.ModelInfo{Path: path}, nil
+	}
+	if err != nil {
+		return server.ModelInfo{}, err
+	}
+	if verify {
+		if err := ckpt.Verify(); err != nil {
+			ckpt.Close()
+			return server.ModelInfo{}, err
+		}
+	}
+	if err := ckpt.Bind(params); err != nil {
+		ckpt.Close()
+		return server.ModelInfo{}, err
+	}
+	return server.ModelInfo{Epoch: ckpt.Epoch, CRC: ckpt.CRC, Path: path}, nil
 }
 
 // runCoordinator serves the fleet front end: no model, no engine — just the
@@ -245,7 +344,7 @@ func runCoordinator(addr string, slo time.Duration, replicaList string) {
 	if armed := faults.Summary(); armed != "" {
 		fmt.Printf("WARNING: fault injection armed via MS_FAULTS: %s\n", armed)
 	}
-	fmt.Println("endpoints: /predict (fleet-routed), /metrics, /healthz, /replicas (GET status, POST join/leave)")
+	fmt.Println("endpoints: /predict (fleet-routed), /metrics, /healthz, /replicas (GET status, POST join/leave), /admin/swap (rolling fleet-wide model swap)")
 	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

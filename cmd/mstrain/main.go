@@ -32,6 +32,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	trainN := flag.Int("train", 800, "training samples (or tokens×25 for nnlm)")
 	savePath := flag.String("save", "", "write checkpoint after training")
+	saveEvery := flag.Int("save-every", 0, "also checkpoint to -save every N epochs (a serving msserver picks each one up via SIGHUP or /admin/swap)")
 	loadPath := flag.String("load", "", "read checkpoint before training/eval")
 	flag.Parse()
 
@@ -90,6 +91,15 @@ func main() {
 			opt.LR = sched.LR(e)
 			loss := tr.Epoch(batches())
 			fmt.Printf("epoch %2d  lr %.4f  loss %.4f\n", e, opt.LR, loss)
+			if *saveEvery > 0 && *savePath != "" && (e+1)%*saveEvery == 0 && e+1 < *epochs {
+				// The save is atomic (temp file + rename), so a serving
+				// process can swap to the path at any moment mid-run.
+				if err := persist.SaveEpoch(*savePath, net.Params(), uint64(e+1)); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				fmt.Printf("checkpointed epoch %d to %s\n", e+1, *savePath)
+			}
 		}
 		fmt.Printf("trained %d epochs in %.1fs\n", *epochs, time.Since(start).Seconds())
 	}
@@ -105,7 +115,7 @@ func main() {
 	}
 
 	if *savePath != "" {
-		if err := persist.Save(*savePath, net.Params()); err != nil {
+		if err := persist.SaveEpoch(*savePath, net.Params(), uint64(*epochs)); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

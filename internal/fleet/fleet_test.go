@@ -38,6 +38,13 @@ func inputVec(seed int64) []float64 {
 // routing is the only throttle.
 func fakeReplica(t *testing.T, clk server.Clock) *server.Server {
 	t.Helper()
+	return fakeReplicaT(t, clk, func(r float64) float64 { return r * r })
+}
+
+// fakeReplicaT is fakeReplica with an explicit cost curve — the lever the
+// heterogeneous-fleet tests pull to give replicas different hardware.
+func fakeReplicaT(t *testing.T, clk server.Clock, sampleTime func(float64) float64) *server.Server {
+	t.Helper()
 	rng := rand.New(rand.NewSource(1))
 	s, err := server.New(server.Config{
 		Model:             models.NewMLP(4, []int{8, 8}, 3, 4, rng),
@@ -46,7 +53,7 @@ func fakeReplica(t *testing.T, clk server.Clock) *server.Server {
 		SLO:               2 * time.Second,
 		Workers:           2,
 		Clock:             clk,
-		SampleTime:        func(r float64) float64 { return r * r },
+		SampleTime:        sampleTime,
 		QueueFactor:       1000,
 		MaxBacklogWindows: 1000,
 	})
@@ -188,6 +195,95 @@ func TestFleetChaosLockstep(t *testing.T) {
 	if st := coord.Stats(); st.Retries != 0 || st.Hedges != 0 || st.Shed != 0 {
 		t.Fatalf("lockstep run saw retries=%d hedges=%d shed=%d; decisions are not comparable",
 			st.Retries, st.Hedges, st.Shed)
+	}
+}
+
+// TestFleetPrefersFasterReplica pins heterogeneous-fleet routing: two
+// replicas with different calibrated cost curves — slow t(r) = 2r² (joined
+// first, so index tie-breaks cannot explain a preference for the other),
+// fast t(r) = r²/4 — start with equal (empty) backlog. The coordinator must
+// route to the fast replica because it admits the query at a higher rate,
+// keep feeding it while its admitted rate stays ahead, and spill to the slow
+// replica exactly when the fast one's growing batch degrades its rate down
+// to parity.
+func TestFleetPrefersFasterReplica(t *testing.T) {
+	if netFaultsArmed() {
+		t.Skip("network fault injection armed; lockstep determinism is not expected")
+	}
+	base := time.Unix(0, 0)
+	slowClk, fastClk := server.NewFakeClock(base), server.NewFakeClock(base)
+	slow := fakeReplicaT(t, slowClk, func(r float64) float64 { return 2 * r * r })
+	fast := fakeReplicaT(t, fastClk, func(r float64) float64 { return r * r / 4 })
+	slowTS := httptest.NewServer(slow.Handler())
+	fastTS := httptest.NewServer(fast.Handler())
+	t.Cleanup(slowTS.Close)
+	t.Cleanup(fastTS.Close)
+
+	coord, err := New(Config{
+		SLO:        2 * time.Second,
+		Clock:      server.NewFakeClock(base),
+		HedgeAfter: -1,
+		RetryBase:  -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(coord.Stop)
+	for _, u := range []string{slowTS.URL, fastTS.URL} {
+		if err := coord.AddReplica(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// All 8 queries arrive in one 1 s routing window. The fast replica admits
+	// batch k at the largest rate with k·r²/4 ≤ 1 (rate 1.0 through k=4, 0.75
+	// through k=7); the slow replica offers rate 0.5 from its first query
+	// (2r² ≤ 1 ⇒ r ≤ 0.707). Only at the 8th query does the fast replica's
+	// admitted rate fall to 0.5 — a tie, which keeps the earlier index.
+	results := make(chan float64, 8)
+	submit := func(seed int64) {
+		go func() {
+			resp, err := coord.Predict(context.Background(), inputVec(seed))
+			if err != nil {
+				t.Errorf("predict: %v", err)
+				results <- -1
+				return
+			}
+			results <- resp.Rate
+		}()
+	}
+	submit(1)
+	waitFor(t, "first query to land", func() bool {
+		return slow.QueueDepth()+fast.QueueDepth() == 1
+	})
+	if got := routedCounts(coord); got[0] != 0 || got[1] != 1 {
+		t.Fatalf("first query at equal backlog routed %v, want the faster replica [0 1]", got)
+	}
+	for seed := int64(2); seed <= 8; seed++ {
+		submit(seed)
+		waitFor(t, "query to land", func() bool {
+			return slow.QueueDepth()+fast.QueueDepth() == int(seed)
+		})
+	}
+	if got := routedCounts(coord); got[0] != 1 || got[1] != 7 {
+		t.Fatalf("routed %v, want [1 7]: fast replica absorbs queries until its rate degrades to the slow one's", got)
+	}
+
+	// Close the window everywhere and check the served rates match the
+	// decisions the routing predicted: seven at 0.75 on fast, one at 0.5 on
+	// slow.
+	slowClk.Tick(time.Second)
+	fastClk.Tick(time.Second)
+	var rates []float64
+	for i := 0; i < 8; i++ {
+		rates = append(rates, <-results)
+	}
+	sort.Float64s(rates)
+	want := []float64{0.5, 0.75, 0.75, 0.75, 0.75, 0.75, 0.75, 0.75}
+	for i := range want {
+		if rates[i] != want[i] {
+			t.Fatalf("served rates %v, want %v", rates, want)
+		}
 	}
 }
 

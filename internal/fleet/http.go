@@ -18,12 +18,15 @@ import (
 //	GET  /healthz   — liveness plus live/total replica counts
 //	GET  /replicas  — fleet membership and per-replica status
 //	POST /replicas  — runtime join/leave: {"op":"join"|"leave","url":...}
+//	POST /admin/swap — rolling fleet-wide model swap, one health-gated
+//	                  replica at a time
 func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/predict", c.handlePredict)
 	mux.HandleFunc("/metrics", c.handleMetrics)
 	mux.HandleFunc("/healthz", c.handleHealthz)
 	mux.HandleFunc("/replicas", c.handleReplicas)
+	mux.HandleFunc("/admin/swap", c.handleSwapAll)
 	return mux
 }
 

@@ -18,6 +18,7 @@ type coordMetrics struct {
 	ejections atomic.Int64 // replicas ejected by the failure threshold
 	rejoins   atomic.Int64 // ejected replicas readmitted
 	shed      atomic.Int64 // queries the coordinator itself refused
+	swaps     atomic.Int64 // replica promotions completed by rolling swaps
 	latency   obs.Histogram
 }
 
@@ -51,6 +52,7 @@ type Stats struct {
 	Ejections int64
 	Rejoins   int64
 	Shed      int64
+	Swaps     int64
 	Replicas  []ReplicaStatus
 	Latency   obs.HistSnapshot
 }
@@ -88,6 +90,7 @@ func (c *Coordinator) Stats() Stats {
 		Ejections: c.metrics.ejections.Load(),
 		Rejoins:   c.metrics.rejoins.Load(),
 		Shed:      c.metrics.shed.Load(),
+		Swaps:     c.metrics.swaps.Load(),
 		Replicas:  c.Replicas(),
 		Latency:   c.metrics.latency.Snapshot(),
 	}
@@ -107,6 +110,7 @@ func (s Stats) prometheus() string {
 	counter("msfleet_hedge_wins_total", "Queries whose winning reply came from the hedge copy.", s.HedgeWins)
 	counter("msfleet_ejections_total", "Replicas ejected on consecutive failures.", s.Ejections)
 	counter("msfleet_rejoins_total", "Ejected replicas readmitted after recovery.", s.Rejoins)
+	counter("msfleet_swaps_total", "Replica promotions completed by rolling model swaps.", s.Swaps)
 	b = append(b, "# HELP msfleet_replica_up 1 while the replica is in rotation, 0 while ejected or left.\n# TYPE msfleet_replica_up gauge\n"...)
 	for _, r := range s.Replicas {
 		up := 1

@@ -95,6 +95,12 @@ type Param struct {
 	// Decay marks the parameter as subject to weight decay (weights yes,
 	// biases and normalization affine parameters no, per convention).
 	Decay bool
+	// Foreign marks Value as a zero-copy view over memory the parameter does
+	// not own — typically a read-only mmap of a checkpoint section
+	// (persist.Checkpoint.Bind). Writing through a foreign Value faults, so
+	// every mutating path must call EnsureMutable first. Inference never
+	// writes parameters and serves foreign values directly.
+	Foreign bool
 }
 
 // NewParam allocates a parameter (and matching gradient) of the given shape.
@@ -109,6 +115,18 @@ func NewParam(name string, decay bool, shape ...int) *Param {
 
 // ZeroGrad clears the accumulated gradient.
 func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// EnsureMutable detaches a foreign parameter from its backing mapping by
+// cloning the value into owned memory (copy-on-train). It is a no-op for
+// parameters that already own their storage, so callers may invoke it
+// unconditionally before any write to Value.
+func (p *Param) EnsureMutable() {
+	if !p.Foreign {
+		return
+	}
+	p.Value = p.Value.Clone()
+	p.Foreign = false
+}
 
 // Layer is the unit of composition. Backward must be called with the same
 // Context (in particular the same slice rate) as the preceding Forward, and

@@ -1,0 +1,327 @@
+package persist
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"modelslicing/internal/models"
+	"modelslicing/internal/nn"
+	"modelslicing/internal/tensor"
+)
+
+func TestOpenBindServesSavedModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	src := models.NewMLP(8, []int{16}, 4, 4, rng)
+	path := filepath.Join(t.TempDir(), "ckpt.bin")
+	if err := SaveEpoch(path, src.Params(), 42); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck.Close()
+	if ck.Epoch != 42 {
+		t.Fatalf("Epoch = %d, want 42", ck.Epoch)
+	}
+	if ck.CRC == 0 {
+		t.Fatal("checkpoint CRC is zero")
+	}
+	if err := ck.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	dst := models.NewMLP(8, []int{16}, 4, 4, rand.New(rand.NewSource(99)))
+	if err := ck.Bind(dst.Params()); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range dst.Params() {
+		if !p.Foreign {
+			t.Fatalf("param %q not marked Foreign after Bind", p.Name)
+		}
+	}
+	x := tensor.New(2, 8)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	want := src.Forward(nn.Eval(1), x)
+	got := dst.Forward(nn.Eval(1), x)
+	for i := range want.Data {
+		if want.Data[i] != got.Data[i] {
+			t.Fatal("mmap-bound model differs from saved model")
+		}
+	}
+}
+
+func TestOpenRejectsLegacyAndGarbage(t *testing.T) {
+	dir := t.TempDir()
+	v2 := filepath.Join(dir, "v2.bin")
+	if err := SaveV2(v2, testModel(21)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(v2); err != ErrLegacyFormat {
+		t.Fatalf("Open(v2) = %v, want ErrLegacyFormat", err)
+	}
+	junk := filepath.Join(dir, "junk.bin")
+	if err := os.WriteFile(junk, []byte("not a checkpoint at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(junk); err == nil {
+		t.Fatal("Open(junk) succeeded")
+	}
+}
+
+func TestBindRejectsWrongArchitecture(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.bin")
+	if err := Save(path, testModel(22)); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck.Close()
+	rng := rand.New(rand.NewSource(23))
+	if err := ck.Bind(models.NewMLP(8, []int{32}, 4, 4, rng).Params()); err == nil {
+		t.Fatal("Bind accepted a wrong-width model")
+	}
+	wrong := models.NewMLP(8, []int{32}, 4, 4, rng).Params()
+	if err := ck.Bind(wrong); err == nil {
+		t.Fatal("Bind accepted a wrong model")
+	}
+	// The failed Bind must not have half-bound the model.
+	for _, p := range wrong {
+		if p.Foreign {
+			t.Fatalf("param %q left Foreign by a failed Bind", p.Name)
+		}
+	}
+	if err := ck.Bind(models.NewMLP(8, []int{16, 16}, 4, 4, rng).Params()); err == nil {
+		t.Fatal("Bind accepted a wrong-depth model")
+	}
+}
+
+// TestV1CrossLoadsToV3 drives the full format history through one model:
+// a v1 checkpoint loads, re-saves as v3, and the v3 artifact opens and
+// verifies with bit-identical weights.
+func TestV1CrossLoadsToV3(t *testing.T) {
+	dir := t.TempDir()
+	src := testModel(24)
+	v2 := filepath.Join(dir, "v2.bin")
+	if err := SaveV2(v2, src); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := filepath.Join(dir, "v1.bin")
+	if err := os.WriteFile(v1, append([]byte(magicV1), raw[len(magicV2):len(raw)-4]...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mid := testModel(25)
+	if err := Load(v1, mid); err != nil {
+		t.Fatal(err)
+	}
+	v3 := filepath.Join(dir, "v3.bin")
+	if err := Save(v3, mid); err != nil {
+		t.Fatal(err)
+	}
+	// Both the parse-copy Load and the mmap Open of the v3 artifact must
+	// reproduce the original weights bit-for-bit.
+	dst := testModel(26)
+	if err := Load(v3, dst); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := Open(v3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck.Close()
+	bound := testModel(27)
+	if err := ck.Bind(bound); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range src {
+		for j := range p.Value.Data {
+			if p.Value.Data[j] != dst[i].Value.Data[j] {
+				t.Fatal("v1→v3 Load round trip differs")
+			}
+			if p.Value.Data[j] != bound[i].Value.Data[j] {
+				t.Fatal("v1→v3 Open round trip differs")
+			}
+		}
+	}
+}
+
+// TestOpenRejectsTornAtEverySectionBoundary truncates a v3 checkpoint at
+// each section's start and end (and one byte either side): every cut must be
+// refused by Open/Verify and by the parse-copy Load.
+func TestOpenRejectsTornAtEverySectionBoundary(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt.bin")
+	if err := Save(path, testModel(28)); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cuts []int
+	for _, s := range ck.sections {
+		for _, off := range []int{int(s.off) - 1, int(s.off), int(s.off) + 1, int(s.off+s.length) - 1, int(s.off + s.length)} {
+			if off > 0 && off < len(raw) {
+				cuts = append(cuts, off)
+			}
+		}
+	}
+	ck.Close()
+	torn := filepath.Join(dir, "torn.bin")
+	for _, off := range cuts {
+		if err := os.WriteFile(torn, raw[:off], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if c, err := Open(torn); err == nil {
+			verr := c.Verify()
+			c.Close()
+			if verr == nil {
+				t.Fatalf("v3 torn at %d/%d opened and verified", off, len(raw))
+			}
+		}
+		if err := Load(torn, testModel(29)); err == nil {
+			t.Fatalf("v3 torn at %d/%d loaded without error", off, len(raw))
+		}
+	}
+}
+
+// TestVerifyRejectsBitFlipAtEverySectionBoundary flips a byte at each
+// section's first and last payload byte, in the inter-section padding, and in
+// the header: Verify (after a succeeding Open, when the header still parses)
+// and Load must reject every one.
+func TestVerifyRejectsBitFlipAtEverySectionBoundary(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt.bin")
+	if err := Save(path, testModel(30)); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flips := []int{0, len(magicV3) + 3, len(magicV3) + 12} // magic, hdrLen, header body
+	prevEnd := int(ck.headerEnd())
+	for _, s := range ck.sections {
+		if int(s.off) > prevEnd {
+			flips = append(flips, prevEnd) // padding byte before the section
+		}
+		flips = append(flips, int(s.off), int(s.off+s.length)-1)
+		prevEnd = int(s.off + s.length)
+	}
+	ck.Close()
+	flipped := filepath.Join(dir, "flipped.bin")
+	for _, off := range flips {
+		bad := append([]byte(nil), raw...)
+		bad[off] ^= 0x40
+		if err := os.WriteFile(flipped, bad, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if c, err := Open(flipped); err == nil {
+			verr := c.Verify()
+			c.Close()
+			if verr == nil {
+				t.Fatalf("v3 with byte %d flipped opened and verified", off)
+			}
+		}
+		if err := Load(flipped, testModel(31)); err == nil {
+			t.Fatalf("v3 with byte %d flipped loaded without error", off)
+		}
+	}
+}
+
+func TestLoadIntoForeignModelCopiesOnWrite(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.bin")
+	b := filepath.Join(dir, "b.bin")
+	if err := Save(a, testModel(32)); err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(b, testModel(33)); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := Open(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck.Close()
+	m := testModel(34)
+	if err := ck.Bind(m); err != nil {
+		t.Fatal(err)
+	}
+	// Loading different weights into a model bound over a read-only mapping
+	// must detach the params (writing through the mapping would fault).
+	if err := Load(b, m); err != nil {
+		t.Fatal(err)
+	}
+	want := testModel(33)
+	for i, p := range m {
+		if p.Foreign {
+			t.Fatalf("param %q still Foreign after Load", p.Name)
+		}
+		for j := range p.Value.Data {
+			if p.Value.Data[j] != want[i].Value.Data[j] {
+				t.Fatal("Load into bound model produced wrong weights")
+			}
+		}
+	}
+}
+
+// TestSaveSteadyStateAllocs is the satellite regression test: once the
+// encoder pool is warm, periodic saves must not allocate proportionally to
+// the parameter count (the old writer built the whole payload through
+// binary.Write each epoch).
+func TestSaveSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("AllocsPerRun is unreliable under -race (sync.Pool sheds items)")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt.bin")
+	small := testModel(35)
+	big := models.NewMLP(8, []int{256, 256}, 4, 4, rand.New(rand.NewSource(36))).Params()
+	run := func(params []*nn.Param) float64 {
+		// Warm the pool (and grow its buffer) outside the measurement.
+		if err := Save(path, params); err != nil {
+			t.Fatal(err)
+		}
+		return testing.AllocsPerRun(5, func() {
+			if err := Save(path, params); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	smallAllocs := run(small)
+	bigAllocs := run(big)
+	// The fixed overhead (temp file, name strings, errors plumbing) is fine;
+	// what must not happen is allocations scaling with parameter bytes
+	// (~530k floats in big vs ~200 in small).
+	if bigAllocs > smallAllocs+16 {
+		t.Fatalf("steady-state Save allocations scale with model size: %v (small) vs %v (big)",
+			smallAllocs, bigAllocs)
+	}
+}
+
+func TestFromBytesRejectsBadBuffers(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FromBytes accepted a size mismatch")
+		}
+	}()
+	tensor.FromBytes(make([]byte, 15), 2)
+}

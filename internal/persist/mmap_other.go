@@ -1,0 +1,32 @@
+//go:build !unix
+
+package persist
+
+import (
+	"io"
+	"os"
+	"unsafe"
+)
+
+func unsafeBytes(words []uint64) []byte {
+	if len(words) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&words[0])), len(words)*8)
+}
+
+// mapFile on hosts without mmap reads the file into an 8-byte-aligned buffer
+// (allocated as []uint64 so FromBytes' alignment requirement holds). Open
+// loses its O(1) property here but keeps its API; the Checkpoint still binds
+// zero-copy tensors over the buffer.
+func mapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	if size == 0 {
+		return nil, func() error { return nil }, nil
+	}
+	words := make([]uint64, (size+7)/8)
+	buf := unsafeBytes(words)[:size]
+	if _, err := io.ReadFull(f, buf); err != nil {
+		return nil, nil, err
+	}
+	return buf, func() error { return nil }, nil
+}

@@ -1,18 +1,19 @@
-// Package persist saves and loads model parameters in a compact binary
-// checkpoint format (magic + per-parameter name, shape and float64 payload),
-// so trained slicing models can be deployed by cmd/mstrain and the examples.
+// Package persist saves and loads model parameters in a binary checkpoint
+// format, so trained slicing models can be deployed by cmd/mstrain, the
+// servers and the examples.
 //
 // Checkpoints are crash-safe: Save writes to a temporary file in the target
 // directory, fsyncs it, and renames it over the destination — a crash at any
 // point leaves either the old checkpoint or the new one, never a torn mix.
-// The current format (magic "MSLC0002") ends in a CRC32 of everything before
-// it, and Load refuses to copy a single byte into the model until the
-// checksum has verified over the whole file; legacy "MSLC0001" checkpoints
-// (no checksum) still load.
+// The current format (magic "MSLC0003", see format3.go) is sectioned and
+// 64-byte-aligned with a CRC per section, so Open can mmap the payloads and
+// Bind a model over them without copying a byte; Load parse-copies the same
+// file portably after verifying every checksum. Legacy "MSLC0002" (whole-file
+// CRC trailer) and "MSLC0001" (no checksum) checkpoints still load
+// bit-identically.
 package persist
 
 import (
-	"bufio"
 	"bytes"
 	"encoding/binary"
 	"fmt"
@@ -27,15 +28,48 @@ import (
 
 const (
 	magicV1 = "MSLC0001" // legacy: no checksum trailer
-	magicV2 = "MSLC0002" // current: CRC32-IEEE over magic+body appended
+	magicV2 = "MSLC0002" // legacy: CRC32-IEEE over magic+body appended
+	// magicV3 (the current format) lives in format3.go.
 )
 
-// Save atomically writes the parameters of a model to path: the bytes go to
-// a temporary file in path's directory, are fsynced, and are renamed into
-// place — readers (and crashes) see the old checkpoint or the new one in
-// full, never a partial write. The file ends in a CRC32 over everything
-// before it, so Load can reject torn or bit-flipped checkpoints outright.
+// Save atomically writes the parameters of a model to path in the current v3
+// format: the bytes go to a temporary file in path's directory, are fsynced,
+// and are renamed into place — readers (and crashes) see the old checkpoint
+// or the new one in full, never a partial write. The whole image is encoded
+// into one pooled buffer and written with a single syscall, so periodic
+// saves in a training loop don't re-allocate the payload every epoch.
 func Save(path string, params []*nn.Param) error {
+	return SaveEpoch(path, params, 0)
+}
+
+// SaveEpoch is Save with the training epoch recorded in the v3 header, where
+// Open surfaces it as Checkpoint.Epoch (and msserver as model identity).
+func SaveEpoch(path string, params []*nn.Param, epoch uint64) error {
+	e := encPool.Get().(*encBuf)
+	defer encPool.Put(e)
+	encodeV3(e, params, epoch)
+	return writeAtomic(path, e.b)
+}
+
+// SaveV2 writes the legacy v2 format (magic + records + whole-file CRC32
+// trailer). It exists for cross-format tests and the cold-start benchmark;
+// new checkpoints should use Save.
+func SaveV2(path string, params []*nn.Param) error {
+	e := encPool.Get().(*encBuf)
+	defer encPool.Put(e)
+	e.b = e.b[:0]
+	e.b = append(e.b, magicV2...)
+	var buf bytes.Buffer
+	if err := writeBody(&buf, params); err != nil {
+		return err
+	}
+	e.b = append(e.b, buf.Bytes()...)
+	e.u32(crc32.ChecksumIEEE(e.b))
+	return writeAtomic(path, e.b)
+}
+
+// writeAtomic publishes data at path via the temp-fsync-rename dance.
+func writeAtomic(path string, data []byte) error {
 	if err := faults.ErrOn(faults.DiskError); err != nil {
 		return fmt.Errorf("persist: %w", err)
 	}
@@ -55,21 +89,7 @@ func Save(path string, params []*nn.Param) error {
 			os.Remove(tmp)
 		}
 	}()
-
-	sum := crc32.NewIEEE()
-	w := bufio.NewWriter(io.MultiWriter(f, sum))
-	if _, err := w.WriteString(magicV2); err != nil {
-		return err
-	}
-	if err := writeBody(w, params); err != nil {
-		return err
-	}
-	// Flush the body through the CRC before reading it, then append the
-	// trailer straight to the file (the checksum must not cover itself).
-	if err := w.Flush(); err != nil {
-		return err
-	}
-	if err := binary.Write(f, binary.LittleEndian, sum.Sum32()); err != nil {
+	if _, err := f.Write(data); err != nil {
 		return err
 	}
 	// Durability order: file contents reach disk before the rename publishes
@@ -144,6 +164,8 @@ func Load(path string, params []*nn.Param) error {
 		return fmt.Errorf("persist: %s is not a model-slicing checkpoint", path)
 	}
 	switch string(raw[:len(magicV2)]) {
+	case magicV3:
+		return loadV3(raw, path, params)
 	case magicV2:
 		if len(raw) < len(magicV2)+4 {
 			return fmt.Errorf("persist: %s: truncated checkpoint (no checksum)", path)
@@ -197,6 +219,9 @@ func readBody(r io.Reader, params []*nn.Param) error {
 					name, j, d, p.Value.Shape[j])
 			}
 		}
+		// A model bound over a read-only mapping must not be written
+		// through; copy-on-write detaches it first.
+		p.EnsureMutable()
 		if err := binary.Read(r, binary.LittleEndian, p.Value.Data); err != nil {
 			return err
 		}

@@ -154,11 +154,11 @@ func TestSaveIsAtomicUnderCrashDebris(t *testing.T) {
 func TestLoadAcceptsLegacyV1(t *testing.T) {
 	// A pre-checksum checkpoint (magic MSLC0001, no CRC trailer) must keep
 	// loading. Build one by rewriting a v2 file: swap the magic and drop the
-	// trailer — the body layout is identical across versions.
+	// trailer — the body layout is identical across those two versions.
 	dir := t.TempDir()
 	path := filepath.Join(dir, "ckpt.bin")
 	src := testModel(11)
-	if err := Save(path, src); err != nil {
+	if err := SaveV2(path, src); err != nil {
 		t.Fatal(err)
 	}
 	raw, err := os.ReadFile(path)

@@ -1,0 +1,5 @@
+//go:build race
+
+package persist
+
+const raceEnabled = true

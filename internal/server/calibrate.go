@@ -29,12 +29,19 @@ type Calibrator struct {
 	perSample map[float64]float64 // rate → seconds per sample
 	alpha     float64             // EWMA weight of a new observation
 	minN      int                 // smallest batch worth folding in
+	rampLeft  int                 // observations left at the boosted post-swap alpha
 }
 
 // ewmaAlpha weights online observations: high enough to track thermal or
 // load drift within a few hundred batches, low enough that one noisy batch
 // cannot flip the policy.
 const ewmaAlpha = 0.1
+
+// rampAlpha is the boosted observation weight during a post-swap
+// recalibration ramp: heavy enough that a handful of windows pulls t(r)
+// onto the new model, still averaging enough that one noisy batch cannot
+// set it alone.
+const rampAlpha = 0.5
 
 // newStaticCalibrator pins t(r) to a fixed curve and ignores observations —
 // used by tests and by callers that already profiled their model.
@@ -78,11 +85,28 @@ func (c *Calibrator) Observe(r float64, n int, elapsed time.Duration) {
 	}
 	perSample := elapsed.Seconds() / float64(n)
 	c.mu.Lock()
+	alpha := c.alpha
+	if c.rampLeft > 0 {
+		// Post-swap ramp: the stored estimates were seeded by a brief
+		// recalibration of the new model; weigh live observations heavily
+		// until the ramp is spent so t(r) locks onto production reality fast.
+		alpha = rampAlpha
+		c.rampLeft--
+	}
 	if old, ok := c.perSample[r]; ok {
-		c.perSample[r] = (1-c.alpha)*old + c.alpha*perSample
+		c.perSample[r] = (1-alpha)*old + alpha*perSample
 	} else {
 		c.perSample[r] = perSample
 	}
+	c.mu.Unlock()
+}
+
+// Ramp arms the post-swap recalibration ramp: the next n qualifying
+// observations fold in at rampAlpha instead of the steady-state EWMA weight.
+// No-op on a static calibrator (which ignores observations entirely).
+func (c *Calibrator) Ramp(n int) {
+	c.mu.Lock()
+	c.rampLeft = n
 	c.mu.Unlock()
 }
 

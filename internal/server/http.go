@@ -50,6 +50,9 @@ type PredictStages struct {
 //	GET  /state            — coordinator-facing snapshot: t(r) table, policy
 //	                         window, backlog horizon, circuit state, load
 //	                         gauges (what a fleet coordinator polls)
+//	POST /admin/swap       — build a replacement model via Config.SwapSource
+//	                         and hot-swap it in (501 when no source is
+//	                         configured)
 //	GET  /debug/decisions  — the window-decision flight recorder (last N
 //	                         scheduling decisions with inputs and reasons);
 //	                         ?n=K limits to the newest K
@@ -61,6 +64,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/state", s.handleState)
+	mux.HandleFunc("/admin/swap", s.handleSwap)
 	mux.HandleFunc("/debug/decisions", s.handleDecisions)
 	mux.HandleFunc("/debug/trace", s.handleTrace)
 	return mux
@@ -175,18 +179,51 @@ func (s *Server) handleTrace(w http.ResponseWriter, _ *http.Request) {
 	_ = s.tracer.WriteTraceEvents(w)
 }
 
+// handleSwap triggers a live model swap through Config.SwapSource: the
+// source builds the replacement (typically re-opening the checkpoint path),
+// Swap recalibrates and publishes it, and the response reports the new model
+// identity — what a rolling fleet operation polls for to confirm promotion.
+func (s *Server) handleSwap(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "use POST", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.cfg.SwapSource == nil {
+		http.Error(w, "no swap source configured (server is not running from a checkpoint)", http.StatusNotImplemented)
+		return
+	}
+	ns, info, err := s.cfg.SwapSource()
+	if err != nil {
+		writeJSONStatus(w, http.StatusInternalServerError, map[string]any{"error": err.Error()})
+		return
+	}
+	if err := s.Swap(ns, info); err != nil {
+		writeJSONStatus(w, http.StatusInternalServerError, map[string]any{"error": err.Error()})
+		return
+	}
+	writeJSON(w, map[string]any{
+		"swapped":          true,
+		"model_epoch":      info.Epoch,
+		"checkpoint_crc32": fmt.Sprintf("%08x", info.CRC),
+	})
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	stopping := s.stopping
+	info := s.info
 	s.mu.Unlock()
 	if stopping {
 		http.Error(w, "shutting down", http.StatusServiceUnavailable)
 		return
 	}
 	writeJSON(w, map[string]any{
-		"status":       "ok",
-		"slo_ms":       float64(s.cfg.SLO.Microseconds()) / 1e3,
-		"circuit_open": s.CircuitOpen(),
+		"status":           "ok",
+		"slo_ms":           float64(s.cfg.SLO.Microseconds()) / 1e3,
+		"circuit_open":     s.CircuitOpen(),
+		"model_epoch":      info.Epoch,
+		"checkpoint_crc32": fmt.Sprintf("%08x", info.CRC),
+		"swaps":            s.metrics.swaps.Load(),
 	})
 }
 

@@ -37,6 +37,7 @@ type metrics struct {
 	failedQueries   atomic.Int64 // queries answered with an error Result
 	circuitTrips    atomic.Int64 // times the brownout circuit opened
 	circuitPinned   atomic.Int64 // windows rate-pinned by an open circuit
+	swaps           atomic.Int64 // live model swaps completed (Server.Swap)
 
 	mu       sync.Mutex
 	rateHist map[float64]int64 // rate → queries served at it
@@ -119,6 +120,14 @@ type Stats struct {
 	CircuitOpen          bool
 	CircuitTrips         int64
 	CircuitPinnedWindows int64
+	// Swaps counts completed live model swaps; SwapRampWindows is how many
+	// non-empty windows of the post-swap recalibration ramp remain (zero in
+	// steady state). ModelEpoch and ModelCRC identify the artifact currently
+	// serving (see ModelInfo).
+	Swaps           int64
+	SwapRampWindows int
+	ModelEpoch      uint64
+	ModelCRC        uint32
 	// FaultsFired is the process-wide fault-injection registry's fired
 	// counts per point (empty when the chaos harness is disarmed).
 	FaultsFired map[string]int64
@@ -212,6 +221,7 @@ func (m *metrics) snapshot(elapsed time.Duration) Stats {
 		FailedQueries:        m.failedQueries.Load(),
 		CircuitTrips:         m.circuitTrips.Load(),
 		CircuitPinnedWindows: m.circuitPinned.Load(),
+		Swaps:                m.swaps.Load(),
 		PeakBacklogWindows:   m.peakBacklog.Load(),
 		LastSlackSeconds:     math.Float64frombits(m.lastSlack.Load()),
 		LastAheadSeconds:     math.Float64frombits(m.lastAhead.Load()),
@@ -260,6 +270,10 @@ func (s Stats) prometheus() string {
 	gauge("msserver_circuit_state", "1 while the brownout circuit is open (rate pinned to the floor), 0 when closed.", circuit)
 	counter("msserver_circuit_trips_total", "Times the brownout circuit opened on consecutive shard failures.", s.CircuitTrips)
 	counter("msserver_circuit_pinned_windows_total", "Windows served rate-pinned under an open circuit.", s.CircuitPinnedWindows)
+	counter("msserver_swaps_total", "Live model swaps completed.", s.Swaps)
+	gauge("msserver_swap_ramp_windows", "Non-empty windows left in the post-swap recalibration ramp.", float64(s.SwapRampWindows))
+	gauge("msserver_model_epoch", "Training epoch of the checkpoint currently serving.", float64(s.ModelEpoch))
+	gauge("msserver_model_checkpoint_crc32", "Header CRC32 of the checkpoint currently serving (content identity; 0 for in-process models).", float64(s.ModelCRC))
 	if len(s.FaultsFired) > 0 {
 		points := make([]string, 0, len(s.FaultsFired))
 		for p := range s.FaultsFired {

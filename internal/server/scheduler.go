@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"modelslicing/internal/faults"
+	"modelslicing/internal/slicing"
 	"modelslicing/internal/tensor"
 )
 
@@ -351,7 +352,7 @@ func (d *scheduler) execute(t *task, wk *worker) (dropped []*query, err error) {
 		shard = alive
 	}
 	if len(shard) > 0 {
-		wk.run(shard, t.job.decision.Rate, s.cfg.InputShape)
+		wk.run(t.job.shared, shard, t.job.decision.Rate, s.cfg.InputShape)
 	}
 	return dropped, nil
 }
@@ -370,16 +371,18 @@ func (d *scheduler) finish(job *batchJob) {
 	s.settle(job, workerBusy)
 }
 
-// newWorker builds a replacement worker over the server's shared weight set.
+// newWorker builds a replacement worker (weights travel with each shard, so
+// a fresh worker is just a fresh arena).
 func (s *Server) newWorker() *worker {
-	return &worker{shared: s.shared, arena: tensor.NewArena()}
+	return &worker{arena: tensor.NewArena()}
 }
 
 // runBatchOn splits a batch into contiguous shards, one per given worker,
-// and runs them all concurrently — the full-pool fast path the startup
-// calibration times. No fault points fire here: calibration measures the
-// hardware, not the chaos harness.
-func runBatchOn(workers []*worker, queries []*query, rate float64, inputShape []int) {
+// and runs them all concurrently against the given weight set — the
+// full-pool fast path that startup and swap calibration time. No fault
+// points fire here: calibration measures the hardware, not the chaos
+// harness.
+func runBatchOn(workers []*worker, shared *slicing.Shared, queries []*query, rate float64, inputShape []int) {
 	n := len(queries)
 	w := min(len(workers), n)
 	per := (n + w - 1) / w
@@ -393,7 +396,7 @@ func runBatchOn(workers []*worker, queries []*query, rate float64, inputShape []
 		wg.Add(1)
 		go func(wk *worker, shard []*query) {
 			defer wg.Done()
-			wk.run(shard, rate, inputShape)
+			wk.run(shared, shard, rate, inputShape)
 		}(workers[i], queries[lo:hi])
 	}
 	wg.Wait()

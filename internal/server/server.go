@@ -157,6 +157,33 @@ type Config struct {
 	TraceSampleEvery int
 	// TraceLog is the trace ring size (sampled spans retained). Default 256.
 	TraceLog int
+	// ModelInfo identifies the model artifact being served (checkpoint
+	// epoch, content CRC, path); surfaced on /healthz, /state and /metrics,
+	// and replaced wholesale by Swap. Zero value: an in-process model.
+	ModelInfo ModelInfo
+	// SwapRampWindows is the recalibration ramp after a Swap: for this many
+	// non-empty windows the calibrator weighs fresh observations heavily
+	// (rampAlpha instead of the steady-state EWMA), so t(r) converges onto
+	// the new model within the ramp instead of over hundreds of batches.
+	// Default 8.
+	SwapRampWindows int
+	// SwapSource, when non-nil, builds the replacement model for a
+	// triggered swap (POST /admin/swap; SIGHUP in msserver) — typically by
+	// re-opening the checkpoint path. Nil disables triggered swaps;
+	// Server.Swap remains callable directly.
+	SwapSource func() (*slicing.Shared, ModelInfo, error)
+}
+
+// ModelInfo identifies the model artifact a server is serving.
+type ModelInfo struct {
+	// Epoch is the training epoch recorded in the checkpoint header.
+	Epoch uint64 `json:"epoch"`
+	// CRC is the checkpoint's header CRC32 — a content identity covering
+	// every payload byte through the per-section checksums
+	// (persist.Checkpoint.CRC). Zero for an in-process model.
+	CRC uint32 `json:"crc32"`
+	// Path is the checkpoint file the model was loaded from, when any.
+	Path string `json:"path,omitempty"`
 }
 
 // Result is the answer to one query.
@@ -207,7 +234,13 @@ type query struct {
 type batchJob struct {
 	queries  []*query
 	decision serving.Decision
-	window   int64 // T/2 sequence number of the window this batch closed
+	// shared is the weight set this window was closed against. Captured at
+	// window close, so a Swap between close and execution cannot move a
+	// window onto weights its decision was not calibrated for: in-flight
+	// windows finish on the old model, only windows closed after the swap
+	// see the new one.
+	shared *slicing.Shared
+	window int64 // T/2 sequence number of the window this batch closed
 	// shards is how many pieces the window was sliced into; remaining
 	// counts the unfinished ones, and whoever finishes the last settles
 	// the window. workerNanos accumulates worker·time across the shards
@@ -217,19 +250,23 @@ type batchJob struct {
 	workerNanos atomic.Int64
 }
 
-// worker owns one activation arena; the weights it reads are the server's
-// single shared parent model. A worker processes at most one shard at a
-// time, so the arena never sees concurrent use.
+// worker owns one activation arena; the weights it reads arrive with each
+// shard (the window's captured Shared), so a worker serves whichever model a
+// window was closed against — across a Swap, old windows on old weights and
+// new windows on new. A worker processes at most one shard at a time, so the
+// arena never sees concurrent use.
 type worker struct {
-	shared *slicing.Shared
-	arena  *tensor.Arena
+	arena *tensor.Arena
 }
 
 // Server is a live SLO-aware inference server.
 type Server struct {
-	cfg      Config
-	policy   serving.Policy
-	cal      *Calibrator
+	cfg    Config
+	policy serving.Policy
+	cal    *Calibrator
+	// shared is the current weight set; read and replaced (Swap) under mu.
+	// Windows capture it at close, so the scheduler and workers only ever
+	// see it through a batchJob.
 	shared   *slicing.Shared
 	workers  []*worker
 	clock    Clock
@@ -243,6 +280,8 @@ type Server struct {
 	pending  []*query
 	inflight int             // queries dispatched but not yet answered
 	backlog  serving.Backlog // estimated completion horizon of dispatched work
+	info     ModelInfo       // identity of the artifact shared was built from
+	rampLeft int             // non-empty windows left in the post-swap recalibration ramp
 	stopping bool
 	// Brownout circuit: circuitFails counts consecutive failed shards
 	// (panic or stuck); at CircuitThreshold the circuit opens — the rate is
@@ -330,7 +369,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	workers := make([]*worker, cfg.Workers)
 	for w := range workers {
-		workers[w] = &worker{shared: shared, arena: tensor.NewArena()}
+		workers[w] = &worker{arena: tensor.NewArena()}
 	}
 
 	if cfg.CalibrationBatch <= 0 {
@@ -339,11 +378,15 @@ func New(cfg Config) (*Server, error) {
 	if cfg.TraceSampleEvery == 0 {
 		cfg.TraceSampleEvery = 16
 	}
+	if cfg.SwapRampWindows <= 0 {
+		cfg.SwapRampWindows = 8
+	}
 
 	started := cfg.Clock.Now()
 	s := &Server{
 		cfg:      cfg,
 		shared:   shared,
+		info:     cfg.ModelInfo,
 		workers:  workers,
 		clock:    cfg.Clock,
 		metrics:  newMetrics(cfg.Workers),
@@ -361,7 +404,7 @@ func New(cfg Config) (*Server, error) {
 			alpha:     ewmaAlpha,
 			minN:      cfg.CalibrationBatch,
 		}
-		s.measureSampleTimes(deploy, cfg.CalibrationBatch)
+		measureSampleTimes(s.cal, workers, shared, deploy, cfg.InputShape, cfg.CalibrationBatch)
 	}
 	s.policy = serving.Policy{
 		Rates:      cfg.Rates,
@@ -373,35 +416,103 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// measureSampleTimes times each rate through the sharded worker pool — the
+// measureSampleTimes times each rate through a sharded worker pool — the
 // same path live batches take — so t(r) reflects pool throughput, not
 // single-worker serial time: one warm-up, then the best of three timed runs
 // (minimum filters scheduler noise; the EWMA absorbs any residual optimism
 // once real traffic flows). This is a genuine hardware measurement, so it
 // reads the wall clock directly — an injected fake clock cannot speed up
-// the silicon it is timing.
-func (s *Server) measureSampleTimes(deploy slicing.RateList, batchN int) {
+// the silicon it is timing. Both startup calibration (the server's own pool,
+// idle by definition) and Swap recalibration (a temporary pool, so live
+// traffic keeps its workers) run through here.
+func measureSampleTimes(cal *Calibrator, workers []*worker, shared *slicing.Shared,
+	deploy slicing.RateList, inputShape []int, batchN int) {
 	rng := rand.New(rand.NewSource(0))
 	queries := make([]*query, batchN)
 	for i := range queries {
-		x := tensor.New(s.cfg.InputShape...)
+		x := tensor.New(inputShape...)
 		for j := range x.Data {
 			x.Data[j] = rng.NormFloat64()
 		}
 		queries[i] = &query{x: x}
 	}
 	for _, r := range deploy {
-		runBatchOn(s.workers, queries, r, s.cfg.InputShape)
+		runBatchOn(workers, shared, queries, r, inputShape)
 		best := time.Duration(math.MaxInt64)
 		for i := 0; i < 3; i++ {
 			start := time.Now()
-			runBatchOn(s.workers, queries, r, s.cfg.InputShape)
+			runBatchOn(workers, shared, queries, r, inputShape)
 			if d := time.Since(start); d < best {
 				best = d
 			}
 		}
-		s.cal.set(r, best.Seconds()/float64(batchN))
+		cal.set(r, best.Seconds()/float64(batchN))
 	}
+}
+
+// Swap replaces the served model with ns between windows — zero-downtime
+// model ops. The switch is copy-on-write at window granularity: windows
+// already closed (including shards mid-compute) finish on the weight set
+// they captured at close, and every window closed after Swap returns serves
+// from ns; no query is dropped, erred or served a half-swapped model.
+//
+// Before publishing ns, Swap recalibrates t(r) for it — static SampleTime
+// configs are re-queried, measured configs re-time each rate on a temporary
+// worker pool so live traffic keeps its workers — and arms the calibrator's
+// recalibration ramp (Config.SwapRampWindows) so the first post-ramp windows
+// decide on estimates that track the new model rather than the old one's
+// stale EWMA. The old model's backing checkpoint (if mmap-ed) must stay open
+// until its last in-flight window settles; msserver simply keeps old
+// mappings open for the process lifetime — their count is bounded by the
+// number of swaps, not by traffic.
+func (s *Server) Swap(ns *slicing.Shared, info ModelInfo) error {
+	if ns == nil {
+		return errors.New("server: swap: nil model")
+	}
+	if !slices.Equal(ns.Rates(), s.cfg.Rates) {
+		return fmt.Errorf("server: swap: rate list %v does not match serving config %v",
+			ns.Rates(), s.cfg.Rates)
+	}
+	if !nn.InferSafe(ns.Model()) {
+		return errors.New("server: swap: model contains a layer without an Infer implementation; it cannot be served concurrently")
+	}
+	deploy := s.cfg.Rates
+	if s.cfg.FixedRate > 0 {
+		deploy = slicing.RateList{s.cfg.FixedRate}
+	}
+	// The new model serves at the tier the operator configured, regardless
+	// of what tier its builder defaulted to.
+	s.mu.Lock()
+	ns.SetTier(s.shared.Tier())
+	s.mu.Unlock()
+	if s.cfg.SampleTime != nil {
+		for _, r := range deploy {
+			s.cal.set(r, s.cfg.SampleTime(r))
+		}
+	} else {
+		// Measure on a temporary pool: recalibrating on s.workers would
+		// contend with (and be skewed by) the traffic they are serving.
+		tmp := make([]*worker, s.cfg.Workers)
+		for i := range tmp {
+			tmp[i] = &worker{arena: tensor.NewArena()}
+		}
+		measureSampleTimes(s.cal, tmp, ns, deploy, s.cfg.InputShape, s.cfg.CalibrationBatch)
+	}
+	s.cal.Ramp(s.cfg.SwapRampWindows)
+	s.mu.Lock()
+	s.shared = ns
+	s.info = info
+	s.rampLeft = s.cfg.SwapRampWindows
+	s.mu.Unlock()
+	s.metrics.swaps.Add(1)
+	return nil
+}
+
+// ModelInfo reports the identity of the artifact currently being served.
+func (s *Server) ModelInfo() ModelInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.info
 }
 
 // SLO returns the configured latency bound T.
@@ -594,6 +705,10 @@ func (s *Server) Stats() Stats {
 	st.InFlightQueries = s.inflight
 	st.BacklogSeconds = s.backlog.Ahead(s.sinceStart(now))
 	st.CircuitOpen = s.circuitOpen
+	st.ModelEpoch = s.info.Epoch
+	st.ModelCRC = s.info.CRC
+	st.SwapRampWindows = s.rampLeft
+	shared := s.shared
 	s.mu.Unlock()
 	if fired := faults.Counts(); len(fired) > 0 {
 		st.FaultsFired = make(map[string]int64, len(fired))
@@ -603,7 +718,7 @@ func (s *Server) Stats() Stats {
 	}
 	st.BacklogWindows = s.sched.depth()
 	st.SampleTimes = s.cal.Snapshot()
-	es := s.shared.Stats()
+	es := shared.Stats()
 	st.PackCacheBytes, st.PackedEngine = es.PackCacheBytes, es.Packed
 	st.PackCacheTierBytes, st.EngineTier = es.PackCacheTierBytes, es.Tier
 	for _, wk := range s.workers {
@@ -695,6 +810,12 @@ func (s *Server) closeWindow() {
 	}
 	d := s.decide(len(batch), batch[0].enqueued, now)
 	s.inflight += len(batch)
+	// The window captures the current weight set: a Swap after this point
+	// affects only later windows (see batchJob.shared).
+	shared := s.shared
+	if s.rampLeft > 0 {
+		s.rampLeft--
+	}
 	s.mu.Unlock()
 
 	for _, q := range batch {
@@ -702,7 +823,7 @@ func (s *Server) closeWindow() {
 	}
 	s.recorder.Record(d.Record(s.policy, seq, len(batch), s.sinceStart(now)))
 	s.metrics.recordDecision(d)
-	job := &batchJob{queries: batch, decision: d, window: seq}
+	job := &batchJob{queries: batch, decision: d, shared: shared, window: seq}
 	s.metrics.observeBacklog(int64(s.sched.enqueue(job)))
 }
 
@@ -788,13 +909,13 @@ func (s *Server) settle(job *batchJob, workerBusy time.Duration) {
 }
 
 // run forwards one shard as a single batch at the given rate through the
-// shared zero-copy inference path — one batched GEMM per layer for the whole
-// shard — then scatters the output rows back to the queries. Batch and
+// given shared zero-copy inference path — one batched GEMM per layer for the
+// whole shard — then scatters the output rows back to the queries. Batch and
 // activation buffers come from the worker's arena; the results outlive the
 // pass, so they are heap-allocated — as one contiguous block per shard
 // (one data allocation instead of one per query), with each query's result a
 // per-row view of the block.
-func (wk *worker) run(shard []*query, rate float64, inputShape []int) {
+func (wk *worker) run(shared *slicing.Shared, shard []*query, rate float64, inputShape []int) {
 	n := len(shard)
 	shape := [8]int{n}
 	x := wk.arena.GetUninit(append(shape[:1], inputShape...)...)
@@ -802,7 +923,7 @@ func (wk *worker) run(shard []*query, rate float64, inputShape []int) {
 	for i, q := range shard {
 		copy(x.Data[i*d:(i+1)*d], q.x.Data)
 	}
-	y := wk.shared.Infer(rate, x, wk.arena)
+	y := shared.Infer(rate, x, wk.arena)
 	classes := y.Size() / n
 	block := make([]float64, n*classes)
 	copy(block, y.Data[:n*classes])

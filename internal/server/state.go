@@ -1,6 +1,7 @@
 package server
 
 import (
+	"fmt"
 	"net/http"
 	"strconv"
 	"time"
@@ -45,6 +46,14 @@ type State struct {
 	// CircuitOpen marks the brownout circuit; Stopping marks shutdown.
 	CircuitOpen bool `json:"circuit_open"`
 	Stopping    bool `json:"stopping"`
+	// ModelEpoch and ModelCRC identify the artifact currently serving —
+	// the checkpoint's recorded training epoch and its header CRC32 as a
+	// %08x string ("00000000" for in-process models). Swaps counts
+	// completed live swaps, so a rolling fleet operation can watch each
+	// replica's identity flip.
+	ModelEpoch uint64 `json:"model_epoch"`
+	ModelCRC   string `json:"checkpoint_crc32"`
+	Swaps      int64  `json:"swaps"`
 }
 
 // State snapshots the coordinator-facing replica state.
@@ -67,7 +76,10 @@ func (s *Server) State() State {
 	st.Windows = s.winSeq
 	st.CircuitOpen = s.circuitOpen
 	st.Stopping = s.stopping
+	st.ModelEpoch = s.info.Epoch
+	st.ModelCRC = fmt.Sprintf("%08x", s.info.CRC)
 	s.mu.Unlock()
+	st.Swaps = s.metrics.swaps.Load()
 	st.BacklogWindows = s.sched.depth()
 	return st
 }

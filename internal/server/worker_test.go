@@ -36,12 +36,15 @@ func TestWorkersShareOneWeightSet(t *testing.T) {
 	if len(s.workers) != 4 {
 		t.Fatalf("want 4 workers, have %d", len(s.workers))
 	}
+	// Workers hold no weights at all — just arenas; every shard arrives with
+	// the server's single Shared (captured per window), which wraps the
+	// parent model in place.
+	if s.shared.Model() != nn.Layer(model) {
+		t.Fatal("server does not serve the parent model in place")
+	}
 	for i, wk := range s.workers {
-		if wk.shared != s.workers[0].shared {
-			t.Fatalf("worker %d holds a different weight set", i)
-		}
-		if wk.shared.Model() != nn.Layer(model) {
-			t.Fatalf("worker %d does not serve the parent model in place", i)
+		if wk.arena == nil {
+			t.Fatalf("worker %d has no arena", i)
 		}
 	}
 }
@@ -86,7 +89,7 @@ func TestWorkerRunMatchesDirectInference(t *testing.T) {
 	)
 	rates := slicing.NewRateList(0.25, 4)
 	shared := slicing.NewShared(model, rates)
-	wk := &worker{shared: shared, arena: tensor.NewArena()}
+	wk := &worker{arena: tensor.NewArena()}
 
 	const n = 5
 	queries := make([]*query, n)
@@ -100,7 +103,7 @@ func TestWorkerRunMatchesDirectInference(t *testing.T) {
 		copy(batch.Data[i*6:(i+1)*6], x.Data)
 	}
 	for _, r := range rates {
-		wk.run(queries, r, []int{6})
+		wk.run(shared, queries, r, []int{6})
 		want := shared.Infer(r, batch, nil)
 		for i, q := range queries {
 			row := q.result

@@ -27,6 +27,12 @@ type Trainer struct {
 // NewTrainer constructs a trainer; the rate list is validated once here.
 func NewTrainer(model nn.Layer, rates RateList, sched Scheduler, opt *train.SGD, rng *rand.Rand) *Trainer {
 	rates.Validate()
+	// Copy-on-train: a model bound over a read-only checkpoint mapping
+	// (persist.Checkpoint.Bind) must own its parameters before the first
+	// optimizer update — or BatchNorm running-stat write — touches them.
+	for _, p := range model.Params() {
+		p.EnsureMutable()
+	}
 	return &Trainer{Model: model, Rates: rates, Sched: sched, Opt: opt, RNG: rng}
 }
 

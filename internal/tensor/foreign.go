@@ -1,0 +1,30 @@
+package tensor
+
+import (
+	"fmt"
+	"unsafe"
+)
+
+// FromBytes wraps a raw little-endian float64 payload — typically one section
+// of an mmap-ed checkpoint — as a tensor without copying. The returned tensor
+// aliases b: if b is a read-only mapping, writing through the tensor faults,
+// so owners of such tensors (nn.Param.Foreign) must clone before mutating.
+// The buffer must be 8-byte aligned; checkpoint sections are 64-byte aligned
+// on disk and mmap bases are page-aligned, so mapped sections always qualify.
+func FromBytes(b []byte, shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if len(b) != n*8 {
+		panic(fmt.Sprintf("tensor: buffer is %d bytes, shape %v wants %d", len(b), shape, n*8))
+	}
+	if n == 0 {
+		return &Tensor{Shape: append([]int(nil), shape...)}
+	}
+	if uintptr(unsafe.Pointer(&b[0]))&7 != 0 {
+		panic("tensor: foreign buffer is not 8-byte aligned")
+	}
+	data := unsafe.Slice((*float64)(unsafe.Pointer(&b[0])), n)
+	return &Tensor{Shape: append([]int(nil), shape...), Data: data}
+}
